@@ -1,0 +1,14 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper at reduced scale
+(fewer rounds / iterations than the paper's 200-iteration, 32,000-round runs)
+so the whole suite completes in minutes.  The printed rows are the quantities
+the paper reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

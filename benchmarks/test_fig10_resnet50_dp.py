@@ -1,0 +1,21 @@
+"""Fig. 10: ResNet50 data-parallel training throughput."""
+
+import pytest
+
+from repro.bench import fig10_resnet50_dp, format_table
+
+
+@pytest.mark.parametrize("server", ["3090", "3080ti"])
+def test_fig10_resnet50_dp_throughput(benchmark, server):
+    rows = benchmark.pedantic(fig10_resnet50_dp, kwargs={"server": server,
+                                                         "iterations": 3},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, title=f"Fig. 10 ({server}-server): ResNet50 DP throughput"))
+    by_system = {row["system"]: row["throughput_samples_per_s"] for row in rows}
+
+    # Shape of Fig. 10: DFCCL is comparable to statically sorted NCCL (OneFlow)
+    # and clearly outperforms KungFu and Horovod.
+    assert by_system["dfccl"] == pytest.approx(by_system["oneflow-static"], rel=0.05)
+    assert by_system["dfccl"] > 1.05 * by_system["kungfu"]
+    assert by_system["dfccl"] > 1.05 * by_system["horovod"]

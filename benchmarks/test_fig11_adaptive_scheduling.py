@@ -1,0 +1,32 @@
+"""Fig. 11: impact of the adaptive spin-threshold policy on scheduling behaviour."""
+
+from repro.bench import fig11_adaptive_scheduling
+
+
+def test_fig11_adaptive_vs_naive_policy(benchmark):
+    results = benchmark.pedantic(fig11_adaptive_scheduling,
+                                 kwargs={"num_gpus": 4, "iterations": 3,
+                                         "grad_buckets": 12},
+                                 iterations=1, rounds=1)
+    naive = results["naive"]
+    adaptive = results["adaptive"]
+
+    naive_preemptions = sum(rank["total_preemptions"] for rank in naive["per_rank"].values())
+    adaptive_preemptions = sum(rank["total_preemptions"]
+                               for rank in adaptive["per_rank"].values())
+    naive_queue_peak = max((length for rank in naive["per_rank"].values()
+                            for _, length in rank["task_queue_lengths"]), default=0)
+    adaptive_queue_peak = max((length for rank in adaptive["per_rank"].values()
+                               for _, length in rank["task_queue_lengths"]), default=0)
+
+    print()
+    print("naive    : preemptions=%d peak task-queue length=%d throughput=%.0f" % (
+        naive_preemptions, naive_queue_peak, naive["throughput_samples_per_s"]))
+    print("adaptive : preemptions=%d peak task-queue length=%d throughput=%.0f" % (
+        adaptive_preemptions, adaptive_queue_peak, adaptive["throughput_samples_per_s"]))
+
+    # Fig. 11 shape: the adaptive policy removes the context-switch spikes of
+    # the naive fixed-threshold policy and sustains at least equal throughput.
+    assert adaptive_preemptions <= naive_preemptions
+    assert adaptive_queue_peak <= max(naive_queue_peak, 1)
+    assert adaptive["throughput_samples_per_s"] >= 0.95 * naive["throughput_samples_per_s"]

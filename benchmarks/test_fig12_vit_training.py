@@ -1,0 +1,22 @@
+"""Fig. 12: ViT training throughput under DP, TP and 3D-hybrid parallelism."""
+
+import pytest
+
+from repro.bench import fig12_vit_training, format_table
+from repro.bench.training_experiments import VIT_CASES
+
+
+@pytest.mark.parametrize("case", list(VIT_CASES))
+def test_fig12_vit_training(benchmark, case):
+    rows = benchmark.pedantic(fig12_vit_training, kwargs={"case": case, "iterations": 3,
+                                                          "microbatch": 64},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, columns=["case", "system", "throughput_samples_per_s",
+                                      "iteration_ms"],
+                       title=f"Fig. 12 ({case}): ViT training throughput"))
+    by_system = {row["system"]: row["throughput_samples_per_s"] for row in rows}
+    # Fig. 12: DFCCL delivers throughput comparable to (within ~10% of) NCCL
+    # orchestrated by OneFlow's static sorting, across parallelism styles.
+    assert by_system["dfccl"] >= 0.9 * by_system["nccl"]
+    assert by_system["dfccl"] <= 1.25 * by_system["nccl"]

@@ -1,0 +1,23 @@
+"""Fig. 13: GPT-2 per-iteration training time under 3D-hybrid parallelism."""
+
+import pytest
+
+from repro.bench import fig13_gpt2_training, format_table
+from repro.bench.training_experiments import GPT2_CASES
+
+
+@pytest.mark.parametrize("case", list(GPT2_CASES))
+def test_fig13_gpt2_training(benchmark, case):
+    rows = benchmark.pedantic(fig13_gpt2_training, kwargs={"case": case, "iterations": 3,
+                                                           "microbatch": 8},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, columns=["case", "system", "iteration_ms", "iteration_cv"],
+                       title=f"Fig. 13 ({case}): GPT-2 per-iteration time"))
+    by_system = {row["system"]: row for row in rows}
+    nccl_ms = by_system["nccl-megatron"]["iteration_ms"]
+    dfccl_ms = by_system["dfccl"]["iteration_ms"]
+    # Fig. 13: per-iteration times within a few percent of manually
+    # orchestrated NCCL, with comparable stability.
+    assert abs(dfccl_ms - nccl_ms) / nccl_ms < 0.1
+    assert by_system["dfccl"]["iteration_cv"] < 0.25

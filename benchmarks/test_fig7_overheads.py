@@ -1,0 +1,29 @@
+"""Fig. 7 and Sec. 6.2: workload-independent time and memory overheads."""
+
+import pytest
+
+from repro.bench import format_table, workload_independent_overheads
+
+
+def test_fig7_time_and_memory_overheads(benchmark):
+    report = benchmark.pedantic(workload_independent_overheads, kwargs={"world_size": 8},
+                                iterations=1, rounds=1)
+    rows = report["time_overheads"]
+    print()
+    print(format_table(rows, title="Fig. 7(b,c): workload-independent time overheads (us)"))
+    print(format_table([report["memory_overheads"]],
+                       title="Sec. 6.2: memory overheads (bytes)"))
+
+    by_variant = {row["cq_variant"]: row for row in rows}
+    # Fig. 7(b): SQE read ~5.3us, preparing ~1.2us, optimized CQ write ~2.0us.
+    assert by_variant["optimized-cas"]["sqe_read_us"] == pytest.approx(5.3, abs=0.2)
+    assert by_variant["optimized-cas"]["preparing_us"] == pytest.approx(1.2, abs=0.4)
+    assert by_variant["optimized-cas"]["cqe_write_us"] == pytest.approx(2.0, abs=0.3)
+    # Fig. 7(c): vanilla > optimized ring buffer > optimized CAS.
+    assert (by_variant["vanilla"]["cqe_write_us"]
+            > by_variant["optimized-ring"]["cqe_write_us"]
+            > by_variant["optimized-cas"]["cqe_write_us"])
+    # Sec. 6.2: ~13KB shared and ~4MB global per block for 1,000 collectives.
+    memory = report["memory_overheads"]
+    assert memory["shared_bytes_per_block"] == pytest.approx(13 << 10, rel=0.1)
+    assert memory["global_bytes_per_block"] == pytest.approx(4 << 20, rel=0.1)

@@ -1,0 +1,50 @@
+"""Fig. 8: algorithm bandwidth and end-to-end latency vs buffer size."""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.collective_perf import measure_collective
+
+FIG8_CASES = {
+    "fig8a-broadcast-8gpu-3080ti": {"kind": "broadcast", "world": 8,
+                                    "topology": "single-3080ti"},
+    "fig8b-allreduce-8gpu-3090": {"kind": "all_reduce", "world": 8,
+                                  "topology": "single-3090"},
+    "fig8c-allreduce-32gpu-mixed": {"kind": "all_reduce", "world": 32,
+                                    "topology": "mixed-32"},
+}
+SIZES = [512, 8 << 10, 128 << 10, 1 << 20, 4 << 20]
+
+
+@pytest.mark.parametrize("case", list(FIG8_CASES))
+def test_fig8_bandwidth_latency(benchmark, case):
+    params = FIG8_CASES[case]
+    sizes = SIZES if params["world"] <= 8 else [size * 4 for size in SIZES]
+
+    def run():
+        rows = []
+        for nbytes in sizes:
+            for backend in ("nccl", "dfccl"):
+                rows.append(measure_collective(backend, params["kind"], nbytes,
+                                               params["world"], params["topology"],
+                                               iterations=2))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(format_table(rows, columns=["backend", "nbytes", "latency_us",
+                                      "bandwidth_gbps"],
+                       title=f"Fig. 8 ({case})"))
+
+    for backend in ("nccl", "dfccl"):
+        series = [row for row in rows if row["backend"] == backend]
+        # Bandwidth must grow with buffer size and latency stays bounded below
+        # by the small-message floor (the Fig. 8 shape).
+        assert series[-1]["bandwidth_gbps"] > series[0]["bandwidth_gbps"]
+    # DFCCL is comparable to NCCL: within a modest factor across the sweep.
+    for nbytes in sizes:
+        nccl_lat = next(r["latency_us"] for r in rows
+                        if r["backend"] == "nccl" and r["nbytes"] == nbytes)
+        dfccl_lat = next(r["latency_us"] for r in rows
+                         if r["backend"] == "dfccl" and r["nbytes"] == nbytes)
+        assert dfccl_lat < 4.0 * nccl_lat

@@ -1,0 +1,26 @@
+"""Fig. 9: end-to-end latency vs core execution time for small and large buffers."""
+
+from repro.bench import format_table, latency_breakdown
+
+
+def test_fig9_latency_vs_core_time(benchmark):
+    rows = benchmark.pedantic(latency_breakdown, iterations=1, rounds=1)
+    print()
+    print(format_table(rows, columns=["case", "backend", "latency_us", "core_time_us"],
+                       title="Fig. 9: all-gather 4KB vs 4MB"))
+    by_case = {}
+    for row in rows:
+        by_case.setdefault(row["case"], {})[row["backend"]] = row
+
+    small = by_case["small"]
+    large = by_case["large"]
+    # Small buffers: DFCCL pays extra I/O latency (SQE read + CQE write) so its
+    # end-to-end latency exceeds NCCL's while core time stays comparable.
+    assert small["dfccl"]["latency_us"] >= small["nccl"]["latency_us"]
+    # Large buffers: the gap shrinks as the I/O overhead amortizes.
+    small_gap = small["dfccl"]["latency_us"] / small["nccl"]["latency_us"]
+    large_gap = large["dfccl"]["latency_us"] / large["nccl"]["latency_us"]
+    assert large_gap <= small_gap
+    # Core execution time is comparable for both backends at both sizes.
+    assert abs(large["dfccl"]["core_time_us"] - large["nccl"]["core_time_us"]) \
+        < 0.2 * large["nccl"]["core_time_us"]

@@ -1,0 +1,33 @@
+"""Sec. 6.1: DFCCL's deadlock-prevention capability vs NCCL."""
+
+from repro.bench import sec61_random_order_program, sec61_sync_program
+
+
+def test_random_order_allreduces_nccl_deadlocks(benchmark):
+    result = benchmark.pedantic(sec61_random_order_program, args=("nccl",),
+                                kwargs={"iterations": 1}, iterations=1, rounds=1)
+    print("\nNCCL random-order program:", result)
+    assert result["deadlocked"] is True
+
+
+def test_random_order_allreduces_dfccl_completes(benchmark):
+    result = benchmark.pedantic(sec61_random_order_program, args=("dfccl",),
+                                kwargs={"iterations": 3}, iterations=1, rounds=1)
+    print("\nDFCCL random-order program:", result)
+    assert result["deadlocked"] is False
+    assert result["preemptions"] > 0
+
+
+def test_sync_separated_allreduces_nccl_deadlocks(benchmark):
+    result = benchmark.pedantic(sec61_sync_program, args=("nccl",),
+                                iterations=1, rounds=1)
+    print("\nNCCL sync-separated program:", result)
+    assert result["deadlocked"] is True
+
+
+def test_sync_separated_allreduces_dfccl_completes(benchmark):
+    result = benchmark.pedantic(sec61_sync_program, args=("dfccl",),
+                                kwargs={"iterations": 2}, iterations=1, rounds=1)
+    print("\nDFCCL sync-separated program:", result)
+    assert result["deadlocked"] is False
+    assert result["voluntary_quits"] > 0

@@ -1,0 +1,33 @@
+"""Table 1: deadlock ratios of the simulation-based analysis (Sec. 2.4)."""
+
+import pytest
+
+from repro.bench import format_table, run_table1_row
+from repro.bench.deadlock_experiments import TABLE1_FAST_ROWS, deadlock_sensitivity_sweep
+
+
+@pytest.mark.parametrize("row", TABLE1_FAST_ROWS)
+def test_table1_row(benchmark, row):
+    result = benchmark.pedantic(
+        run_table1_row, args=(row,), kwargs={"rounds": 60, "collective_scale": 0.05},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_table([result], columns=["config", "model", "measured_ratio",
+                                          "paper_ratio", "mean_disorder_events",
+                                          "mean_sync_events"],
+                       title=f"Table 1 row: {row}"))
+    assert 0.0 <= result["measured_ratio"] <= 1.0
+
+
+def test_table1_sensitivity_findings(benchmark):
+    """Sec. 2.4.3 findings 2-3: ratio grows with both probabilities, more with sync."""
+    rows = benchmark.pedantic(deadlock_sensitivity_sweep, kwargs={"rounds": 80},
+                              iterations=1, rounds=1)
+    print()
+    print(format_table(rows, title="Deadlock sensitivity (sync model)"))
+    baseline = rows[0]["deadlock_ratio"]
+    disorder_boost = rows[1]["deadlock_ratio"]
+    sync_boost = rows[2]["deadlock_ratio"]
+    assert disorder_boost >= baseline
+    assert sync_boost >= baseline

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Data-parallel ResNet50 training: DFCCL vs CPU-orchestrated NCCL baselines.
+
+Reproduces the shape of Fig. 10: DFCCL matches statically sorted NCCL
+(OneFlow) and outperforms the coordination-heavy Horovod and KungFu baselines.
+
+Run with:  python examples/data_parallel_training.py
+"""
+
+from repro.bench.reporting import format_table
+from repro.core import DfcclConfig
+from repro.gpusim import build_cluster
+from repro.orchestration import make_orchestrator
+from repro.workloads import (
+    DfcclTrainingBackend,
+    NcclTrainingBackend,
+    ParallelPlan,
+    TrainingRun,
+    resnet50_model,
+)
+
+NUM_GPUS = 8
+BATCH_PER_GPU = 96
+ITERATIONS = 4
+CHUNK_BYTES = 512 << 10
+
+
+def run_system(label, backend_factory, plan):
+    cluster = build_cluster("single-3090")
+    backend = backend_factory(cluster)
+    result = TrainingRun(cluster, plan, backend, iterations=ITERATIONS, warmup=1).run()
+    return {
+        "system": label,
+        "throughput_samples_per_s": result.throughput_samples_per_s,
+        "iteration_ms": result.mean_iteration_time_ms,
+    }
+
+
+def main():
+    plan = ParallelPlan(resnet50_model(), dp=NUM_GPUS, microbatch_size=BATCH_PER_GPU,
+                        grad_buckets=24)
+    systems = [
+        ("oneflow-static (NCCL)",
+         lambda cluster: NcclTrainingBackend(
+             cluster, make_orchestrator("oneflow", world_size=NUM_GPUS),
+             chunk_bytes=CHUNK_BYTES)),
+        ("dfccl",
+         lambda cluster: DfcclTrainingBackend(
+             cluster, DfcclConfig(chunk_bytes=CHUNK_BYTES))),
+        ("kungfu (NCCL)",
+         lambda cluster: NcclTrainingBackend(
+             cluster, make_orchestrator("kungfu", world_size=NUM_GPUS),
+             chunk_bytes=CHUNK_BYTES)),
+        ("horovod (NCCL)",
+         lambda cluster: NcclTrainingBackend(
+             cluster, make_orchestrator("horovod", world_size=NUM_GPUS),
+             chunk_bytes=CHUNK_BYTES)),
+    ]
+    rows = [run_system(label, factory, plan) for label, factory in systems]
+    print(format_table(rows, title=f"ResNet50 DP training on {NUM_GPUS} simulated GPUs "
+                                   f"(batch {BATCH_PER_GPU}/GPU, {ITERATIONS} iterations)"))
+    dfccl = next(row for row in rows if row["system"] == "dfccl")
+    horovod = next(row for row in rows if "horovod" in row["system"])
+    gain = dfccl["throughput_samples_per_s"] / horovod["throughput_samples_per_s"] - 1
+    print(f"\nDFCCL outperforms Horovod-coordinated NCCL by {gain * 100:.1f}% "
+          "(the paper reports 20.4%-22.3%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""The Sec. 2.4 deadlock study: how disorder and GPU synchronization cause deadlocks.
+
+Runs the deadlock simulator on a few Table 1 configurations (scaled down) and a
+sensitivity sweep showing that the deadlock ratio is more sensitive to the GPU
+synchronization probability than to the disorder probability.
+
+Run with:  python examples/deadlock_study.py
+"""
+
+from repro.bench import deadlock_sensitivity_sweep, format_table, run_table1_row
+from repro.bench.deadlock_experiments import TABLE1_FAST_ROWS
+
+
+def main():
+    rows = [run_table1_row(name, rounds=60, collective_scale=0.05)
+            for name in TABLE1_FAST_ROWS[:5]]
+    print(format_table(
+        rows,
+        columns=["config", "model", "disorder_prob", "sync_prob",
+                 "measured_ratio", "paper_ratio"],
+        title="Table 1 (scaled-down): measured vs paper deadlock ratios",
+        float_format="{:.4f}",
+    ))
+    print()
+    sweep = deadlock_sensitivity_sweep(rounds=80)
+    print(format_table(sweep, title="Sensitivity of the deadlock ratio (sync model)",
+                       float_format="{:.4f}"))
+    print("\nEven very small probabilities yield non-trivial deadlock risk, and the")
+    print("synchronization probability has the larger effect — the motivation for")
+    print("DFCCL's preemption-based approach.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: deadlock-free all-reduces with DFCCL on a simulated 8-GPU server.
+
+The example registers two all-reduces, invokes them in *opposite orders* on the
+two halves of the server (the classic single-queue deadlock recipe of Fig. 1(c)
+in the paper), and shows that DFCCL completes them anyway — then runs the same
+program against the NCCL baseline and shows that it deadlocks.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.common.errors import DeadlockError
+from repro.core import DfcclBackend
+from repro.gpusim import HostProgram, build_cluster
+from repro.ncclsim import NcclBackend
+from repro.ncclsim.program import launch_collective, wait_collective
+
+NUM_GPUS = 8
+ELEMENTS = 256 * 1024  # 1 MB of float32 per collective
+
+
+def order_for(rank):
+    """Half of the GPUs invoke collective 0 first, the other half collective 1."""
+    return [0, 1] if rank < NUM_GPUS // 2 else [1, 0]
+
+
+def run_dfccl():
+    cluster = build_cluster("single-3090")
+    dfccl = DfcclBackend(cluster)
+    ranks = list(range(NUM_GPUS))
+    dfccl.init_all_ranks(ranks)                       # dfcclInit per GPU
+    dfccl.register_all_reduce(0, count=ELEMENTS, ranks=ranks)   # dfcclRegisterAllReduce
+    dfccl.register_all_reduce(1, count=ELEMENTS, ranks=ranks)
+
+    programs = []
+    for rank in ranks:
+        handles = [dfccl.submit(rank, coll_id) for coll_id in order_for(rank)]
+        ops = [handle.submit_op() for handle in handles]      # dfcclRunAllReduce (async)
+        ops += [handle.wait_op() for handle in handles]       # wait for the callbacks
+        ops.append(dfccl.destroy_op(rank))                    # dfcclDestroy
+        programs.append(HostProgram(ops))
+    cluster.add_hosts(programs)
+    finish = cluster.run()
+
+    preemptions = sum(dfccl.stats(rank).preemptions for rank in ranks)
+    print(f"DFCCL : completed at t={finish:9.1f} us "
+          f"(daemon preemptions across GPUs: {preemptions})")
+
+
+def run_nccl():
+    cluster = build_cluster("single-3090")
+    nccl = NcclBackend(cluster)
+    comm = nccl.create_communicator()
+    op_a = comm.all_reduce(0, count=ELEMENTS)
+    op_b = comm.all_reduce(1, count=ELEMENTS)
+    by_id = {0: op_a, 1: op_b}
+
+    programs = []
+    for rank in range(NUM_GPUS):
+        ops = [launch_collective(nccl, by_id[coll_id], rank) for coll_id in order_for(rank)]
+        ops += [wait_collective(by_id[coll_id], rank) for coll_id in order_for(rank)]
+        programs.append(HostProgram(ops))
+    cluster.add_hosts(programs)
+    try:
+        cluster.run()
+        print("NCCL  : completed (unexpected!)")
+    except DeadlockError as error:
+        print(f"NCCL  : DEADLOCK — {len(error.blocked)} actors blocked, as the paper predicts")
+
+
+def main():
+    print("Disordered all-reduce invocation on a simulated 8-GPU server")
+    print("=" * 64)
+    run_dfccl()
+    run_nccl()
+
+
+if __name__ == "__main__":
+    main()

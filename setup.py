@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works in offline environments whose setuptools lacks
+PEP 660 editable-wheel support (it falls back to the legacy ``develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

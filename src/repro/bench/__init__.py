@@ -1,0 +1,48 @@
+"""Experiment harness: one driver per table/figure of the paper's evaluation.
+
+Every driver returns plain Python data (dicts / lists of rows) so it can be
+used from the pytest-benchmark suite under ``benchmarks/``, from the runnable
+examples, or interactively.  ``repro.bench.reporting`` renders the results in
+a paper-like table format.
+"""
+
+from repro.bench.reporting import format_series, format_table
+from repro.bench.collective_perf import (
+    measure_collective,
+    sweep_bandwidth_latency,
+    latency_breakdown,
+    workload_independent_overheads,
+    nccl_vs_mpi_comparison,
+)
+from repro.bench.deadlock_experiments import (
+    run_table1_row,
+    run_table1,
+    sec61_random_order_program,
+    sec61_sync_program,
+    deadlock_sensitivity_sweep,
+)
+from repro.bench.training_experiments import (
+    fig10_resnet50_dp,
+    fig11_adaptive_scheduling,
+    fig12_vit_training,
+    fig13_gpt2_training,
+)
+
+__all__ = [
+    "deadlock_sensitivity_sweep",
+    "fig10_resnet50_dp",
+    "fig11_adaptive_scheduling",
+    "fig12_vit_training",
+    "fig13_gpt2_training",
+    "format_series",
+    "format_table",
+    "latency_breakdown",
+    "measure_collective",
+    "nccl_vs_mpi_comparison",
+    "run_table1",
+    "run_table1_row",
+    "sec61_random_order_program",
+    "sec61_sync_program",
+    "sweep_bandwidth_latency",
+    "workload_independent_overheads",
+]

@@ -1,0 +1,216 @@
+"""Collective bandwidth / latency experiments (Figs. 7, 8, 9 and the Sec. 2.1 claim).
+
+``measure_collective`` runs one collective repeatedly on a fresh simulated
+cluster through either backend and reports end-to-end latency, core execution
+time and algorithm bandwidth, mirroring the rewritten NCCL-Tests harness the
+paper uses.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.common.types import CollectiveKind, CollectiveSpec
+from repro.core import DfcclBackend, DfcclConfig
+from repro.gpusim import HostProgram, build_cluster
+from repro.ncclsim import CudaAwareMpiModel, NcclBackend
+from repro.ncclsim.program import launch_collective, wait_collective
+
+#: Buffer sizes swept in Fig. 8 (512 B – 4 MB on one server, up to 16 MB on 32 GPUs).
+FIG8_SIZES_SINGLE = [512 << i for i in range(0, 14)]
+FIG8_SIZES_MULTI = [2048 << i for i in range(0, 14)]
+
+
+def _kind_from_name(name):
+    return CollectiveKind(name) if not isinstance(name, CollectiveKind) else name
+
+
+def measure_collective(backend="dfccl", kind="all_reduce", nbytes=1 << 20,
+                       world_size=8, topology="single-3090", iterations=3,
+                       chunk_bytes=128 << 10):
+    """Measure one collective's end-to-end latency, core time and bandwidth.
+
+    Returns a dict with mean values over ``iterations`` timed runs.
+    """
+    kind = _kind_from_name(kind)
+    count = max(1, nbytes // 4)
+    ranks = list(range(world_size))
+
+    cluster = build_cluster(topology)
+    if world_size > cluster.world_size:
+        raise ValueError(f"topology {topology} has only {cluster.world_size} GPUs")
+
+    if backend == "dfccl":
+        return _measure_dfccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes)
+    if backend == "nccl":
+        return _measure_nccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def _measure_dfccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes):
+    config = DfcclConfig(chunk_bytes=chunk_bytes)
+    dfccl = DfcclBackend(cluster, config)
+    dfccl.init_all_ranks(ranks)
+    spec = CollectiveSpec(kind, count)
+    coll = dfccl.register_collective(0, spec, ranks=ranks)
+
+    handles = {rank: [dfccl.submit(rank, 0) for _ in range(iterations)] for rank in ranks}
+    programs = []
+    for rank in ranks:
+        ops = []
+        for handle in handles[rank]:
+            ops.append(handle.submit_op())
+            ops.append(handle.wait_op())
+        ops.append(dfccl.destroy_op(rank))
+        programs.append(HostProgram(ops))
+    cluster.add_hosts(programs)
+    cluster.run()
+
+    latencies = []
+    for index in range(iterations):
+        invocation = coll.invocation(index)
+        start = min(invocation.submit_times.values())
+        end = max(invocation.complete_times.values())
+        latencies.append(end - start)
+    stats = dfccl.stats(ranks[0])
+    completed = max(1, stats.cqes_written)
+    core = (stats.execute_time_us + stats.preparing_time_us) / completed
+    latency = statistics.fmean(latencies)
+    return {
+        "backend": "dfccl",
+        "kind": kind.value,
+        "nbytes": nbytes,
+        "latency_us": latency,
+        "core_time_us": core,
+        "bandwidth_gbps": nbytes / (latency * 1e3),
+        "preemptions": stats.preemptions,
+    }
+
+
+def _measure_nccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes):
+    nccl = NcclBackend(cluster, chunk_bytes=chunk_bytes)
+    comm = nccl.create_communicator(ranks=ranks)
+    spec = CollectiveSpec(kind, count)
+    ops_by_iter = [comm.collective(index, spec) for index in range(iterations)]
+
+    programs = []
+    for rank in ranks:
+        ops = []
+        for op in ops_by_iter:
+            ops.append(launch_collective(nccl, op, rank))
+            ops.append(wait_collective(op, comm.group_rank(rank)))
+        programs.append(HostProgram(ops))
+    cluster.add_hosts(programs)
+    cluster.run()
+
+    latencies = []
+    cores = []
+    for op in ops_by_iter:
+        starts = []
+        ends = []
+        core_times = []
+        for group_rank in range(len(ranks)):
+            kernel = op.kernel(group_rank)
+            starts.append(kernel.launch_time_us)
+            ends.append(kernel.complete_time_us)
+            core_times.append(kernel.complete_time_us - kernel.launch_time_us)
+        # End to end includes the host-side launch overhead before residency.
+        latencies.append(max(ends) - min(starts) + cluster.device(0).launch_overhead_us)
+        cores.append(statistics.fmean(core_times))
+    latency = statistics.fmean(latencies)
+    return {
+        "backend": "nccl",
+        "kind": kind.value,
+        "nbytes": nbytes,
+        "latency_us": latency,
+        "core_time_us": statistics.fmean(cores),
+        "bandwidth_gbps": nbytes / (latency * 1e3),
+        "preemptions": 0,
+    }
+
+
+def sweep_bandwidth_latency(kind="all_reduce", world_size=8, topology="single-3090",
+                            sizes=None, iterations=2):
+    """Fig. 8: bandwidth and latency vs buffer size for both backends."""
+    if sizes is None:
+        sizes = FIG8_SIZES_SINGLE if world_size <= 8 else FIG8_SIZES_MULTI
+    rows = []
+    for nbytes in sizes:
+        for backend in ("nccl", "dfccl"):
+            result = measure_collective(backend, kind, nbytes, world_size, topology,
+                                        iterations=iterations)
+            rows.append(result)
+    return rows
+
+
+def latency_breakdown(nbytes_small=4 << 10, nbytes_large=4 << 20, world_size=8,
+                      topology="single-3090", kind="all_gather"):
+    """Fig. 9: end-to-end latency vs core execution time, small and large buffers."""
+    rows = []
+    for label, nbytes in (("small", nbytes_small), ("large", nbytes_large)):
+        for backend in ("nccl", "dfccl"):
+            result = measure_collective(backend, kind, nbytes, world_size, topology)
+            result["case"] = label
+            rows.append(result)
+    return rows
+
+
+def workload_independent_overheads(world_size=8, topology="single-3090"):
+    """Fig. 7(b,c) + Sec. 6.2: SQE read / preparing / CQE write times and memory.
+
+    Runs the same all-reduce workload under each CQ variant and reports the
+    measured per-CQE write time along with the fixed SQE-read and preparing
+    overheads and the memory overhead report for 1,000 collectives.
+    """
+    from repro.core.context import memory_overhead_report
+
+    rows = []
+    for variant in ("vanilla", "optimized-ring", "optimized-cas"):
+        cluster = build_cluster(topology)
+        config = DfcclConfig(cq_variant=variant)
+        dfccl = DfcclBackend(cluster, config)
+        ranks = list(range(world_size))
+        dfccl.init_all_ranks(ranks)
+        dfccl.register_all_reduce(0, count=1 << 18, ranks=ranks)
+        programs = []
+        for rank in ranks:
+            handles = [dfccl.submit(rank, 0) for _ in range(3)]
+            ops = []
+            for handle in handles:
+                ops.extend(handle.ops())
+            ops.append(dfccl.destroy_op(rank))
+            programs.append(HostProgram(ops))
+        cluster.add_hosts(programs)
+        cluster.run()
+        stats = dfccl.stats(0)
+        rows.append({
+            "cq_variant": variant,
+            "sqe_read_us": stats.mean_sqe_read_time_us(),
+            "preparing_us": (stats.preparing_time_us / max(1, stats.cqes_written)),
+            "cqe_write_us": stats.mean_cqe_write_time_us(),
+        })
+    memory = memory_overhead_report(DfcclConfig(), num_collectives=1000)
+    return {"time_overheads": rows, "memory_overheads": memory}
+
+
+def nccl_vs_mpi_comparison(world_size=8, topology="single-3090", sizes=None):
+    """Sec. 2.1: NCCL all-reduce throughput vs CUDA-aware MPI.
+
+    The NCCL numbers come from the simulated backend, the MPI numbers from the
+    analytic host-staged model; the claim to reproduce is the crossover above
+    32 KB and a >6x large-buffer gap.
+    """
+    if sizes is None:
+        sizes = [4 << 10, 32 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20]
+    mpi = CudaAwareMpiModel()
+    rows = []
+    for nbytes in sizes:
+        nccl = measure_collective("nccl", "all_reduce", nbytes, world_size, topology)
+        mpi_bw = mpi.all_reduce_bandwidth_gbps(nbytes, world_size)
+        rows.append({
+            "nbytes": nbytes,
+            "nccl_bw_gbps": nccl["bandwidth_gbps"],
+            "mpi_bw_gbps": mpi_bw,
+            "speedup": nccl["bandwidth_gbps"] / mpi_bw if mpi_bw else float("inf"),
+        })
+    return rows

@@ -1,0 +1,44 @@
+"""Collective algorithm layer shared by the NCCL baseline and DFCCL.
+
+This package implements the data-plane concepts of Sec. 4.1 of the paper:
+
+* the four buffers used by a collective (send/recv buffers and send/recv
+  connectors, the latter realized as bounded ring-buffer channels),
+* the primitives that collectives are fused from (``send``, ``recv``,
+  ``reduce``, ``copy`` and their fusions such as ``recvReduceSend``),
+* chunking of the input buffer and generation of the per-rank primitive
+  sequence for the Ring algorithm with the Simple protocol,
+* communicators, which own the inter-GPU channels.
+
+Both backends execute the *same* primitive sequences; they differ only in how
+long a primitive is allowed to busy-wait (indefinitely for NCCL, up to a spin
+threshold for DFCCL) and in who schedules the next primitive.
+"""
+
+from repro.collectives.channels import Channel, ChunkMessage, Communicator
+from repro.collectives.cost import CostModel
+from repro.collectives.primitives import (
+    ExecOutcome,
+    Primitive,
+    PrimitiveExecutor,
+    PrimitiveOutcome,
+)
+from repro.collectives.sequences import (
+    chunk_loops,
+    generate_primitive_sequence,
+    primitive_count,
+)
+
+__all__ = [
+    "Channel",
+    "ChunkMessage",
+    "Communicator",
+    "CostModel",
+    "ExecOutcome",
+    "Primitive",
+    "PrimitiveExecutor",
+    "PrimitiveOutcome",
+    "chunk_loops",
+    "generate_primitive_sequence",
+    "primitive_count",
+]

@@ -1,0 +1,188 @@
+"""Connectors (inter-GPU channels) and communicators.
+
+A :class:`Channel` models one direction of a connector pair: a bounded,
+lock-free ring buffer through which the sender GPU pushes chunk messages and
+from which the receiver GPU pops them.  Messages carry the virtual time at
+which their data becomes visible to the receiver, which models the transfer
+latency over the physical link.
+
+Data written to a channel stays there until the receiver pops it — this is the
+*persistent visibility* property of Sec. 4.1 that makes decentralized
+preemption correct: preempting the sender after the write, or the receiver
+before the read, never loses data.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+
+from repro.common.errors import ConfigurationError
+
+_channel_ids = itertools.count()
+_communicator_ids = itertools.count()
+
+
+class ChunkMessage:
+    """One chunk travelling through a channel."""
+
+    __slots__ = ("collective_id", "chunk_index", "step", "nbytes", "ready_time_us")
+
+    def __init__(self, collective_id, chunk_index, step, nbytes, ready_time_us):
+        self.collective_id = collective_id
+        self.chunk_index = chunk_index
+        self.step = step
+        self.nbytes = nbytes
+        self.ready_time_us = ready_time_us
+
+    def __repr__(self):
+        return (
+            f"ChunkMessage(coll={self.collective_id}, chunk={self.chunk_index}, "
+            f"step={self.step}, {self.nbytes}B, ready={self.ready_time_us:.2f}us)"
+        )
+
+
+class Channel:
+    """A bounded FIFO connecting a sender GPU to a receiver GPU."""
+
+    #: Default connector FIFO depth (NCCL uses 8 slots per channel).
+    DEFAULT_CAPACITY = 8
+
+    def __init__(self, src_device, dst_device, capacity=None):
+        self.channel_id = next(_channel_ids)
+        self.src_device = src_device
+        self.dst_device = dst_device
+        self.capacity = capacity or self.DEFAULT_CAPACITY
+        self._fifo = deque()
+        self.pushed_count = 0
+        self.popped_count = 0
+
+    # -- wait keys -------------------------------------------------------------
+
+    @property
+    def readable_key(self):
+        """Signalled when a message is pushed (receiver may make progress)."""
+        return ("chan-readable", self.channel_id)
+
+    @property
+    def writable_key(self):
+        """Signalled when a slot frees up (sender may make progress)."""
+        return ("chan-writable", self.channel_id)
+
+    # -- sender side -------------------------------------------------------------
+
+    def writable(self):
+        return len(self._fifo) < self.capacity
+
+    def push(self, message):
+        if not self.writable():
+            raise ConfigurationError(
+                f"channel {self.channel_id} full: push attempted without checking writable()"
+            )
+        self._fifo.append(message)
+        self.pushed_count += 1
+        return message
+
+    # -- receiver side -----------------------------------------------------------
+
+    def readable(self, now_us=None, max_wait_us=None):
+        """True when a head message exists that the receiver is willing to wait for.
+
+        A message is always considered readable once it has been pushed (its
+        data will arrive at ``ready_time_us``); the receiver accounts for the
+        remaining arrival delay when it pops.  When ``max_wait_us`` is given,
+        a message whose arrival is further than that in the receiver's future
+        is treated as not readable — DFCCL uses this to bound busy-waiting.
+        """
+        if not self._fifo:
+            return False
+        if max_wait_us is None or now_us is None:
+            return True
+        return self._fifo[0].ready_time_us <= now_us + max_wait_us
+
+    def head(self):
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self, now_us):
+        if not self._fifo:
+            raise ConfigurationError(
+                f"channel {self.channel_id} empty: pop attempted at t={now_us:.2f}us"
+            )
+        self.popped_count += 1
+        return self._fifo.popleft()
+
+    @property
+    def occupancy(self):
+        return len(self._fifo)
+
+    def __repr__(self):
+        return (
+            f"<Channel {self.channel_id} {self.src_device}->{self.dst_device} "
+            f"occ={self.occupancy}/{self.capacity}>"
+        )
+
+
+class Communicator:
+    """A group of devices plus the channels connecting ring neighbours.
+
+    Ranks inside a communicator are *group ranks* (0..group_size-1); the
+    mapping to cluster devices is fixed at construction.  Channels are created
+    lazily for any (src, dst) group-rank pair so that both ring and
+    point-to-point patterns work.
+    """
+
+    def __init__(self, devices, interconnect, channel_capacity=None):
+        if len(devices) < 1:
+            raise ConfigurationError("a communicator needs at least one device")
+        self.comm_id = next(_communicator_ids)
+        self.devices = list(devices)
+        self.interconnect = interconnect
+        self.channel_capacity = channel_capacity
+        self._channels = {}
+
+    @property
+    def size(self):
+        return len(self.devices)
+
+    def device(self, group_rank):
+        return self.devices[group_rank]
+
+    def device_id(self, group_rank):
+        return self.devices[group_rank].device_id
+
+    def group_rank_of(self, device):
+        return self.devices.index(device)
+
+    def channel(self, src_rank, dst_rank):
+        """Return (creating on demand) the channel from ``src_rank`` to ``dst_rank``."""
+        key = (src_rank, dst_rank)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = Channel(
+                self.device_id(src_rank),
+                self.device_id(dst_rank),
+                capacity=self.channel_capacity,
+            )
+            self._channels[key] = channel
+        return channel
+
+    def link(self, src_rank, dst_rank):
+        """Interconnect link between two group ranks."""
+        return self.interconnect.link(self.device_id(src_rank), self.device_id(dst_rank))
+
+    def ring_next(self, group_rank):
+        return (group_rank + 1) % self.size
+
+    def ring_prev(self, group_rank):
+        return (group_rank - 1) % self.size
+
+    def channels(self):
+        return dict(self._channels)
+
+    def reset_channels(self):
+        """Drop all channels (used between independent experiment repetitions)."""
+        self._channels.clear()
+
+    def __repr__(self):
+        members = ", ".join(str(device.device_id) for device in self.devices)
+        return f"<Communicator {self.comm_id} [{members}]>"

@@ -1,0 +1,235 @@
+"""Primitives and their execution.
+
+A primitive is a fusion of the basic actions ``send``, ``recv``, ``reduce``
+and ``copy`` (Sec. 4.1).  Depending on which of ``send``/``recv`` it contains,
+a primitive busy-waits until its send connector is writable and/or its recv
+connector is readable before progressing.  The :class:`PrimitiveExecutor`
+implements this check-then-execute logic once, so the NCCL baseline (which
+waits forever) and the DFCCL daemon kernel (which bounds the wait with a spin
+threshold) share exactly the same data-plane behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import InvalidStateError
+from repro.common.types import PrimitiveAction
+from repro.collectives.channels import ChunkMessage
+from repro.collectives.cost import DEFAULT_COST_MODEL
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One step of a collective's per-rank primitive sequence."""
+
+    name: str
+    action: PrimitiveAction
+    loop: int
+    step: int
+    chunk_index: int
+    nbytes: int
+    send_peer: int = None
+    recv_peer: int = None
+
+    @property
+    def sends(self):
+        return bool(self.action & PrimitiveAction.SEND)
+
+    @property
+    def recvs(self):
+        return bool(self.action & PrimitiveAction.RECV)
+
+    @property
+    def touches_memory(self):
+        return bool(self.action & (PrimitiveAction.REDUCE | PrimitiveAction.COPY))
+
+
+#: Named fusions used by the Ring algorithm, mirroring NCCL's primitive names.
+PRIM_SEND = PrimitiveAction.SEND
+PRIM_RECV = PrimitiveAction.RECV | PrimitiveAction.COPY
+PRIM_COPY = PrimitiveAction.COPY
+PRIM_RECV_COPY_SEND = PrimitiveAction.RECV | PrimitiveAction.COPY | PrimitiveAction.SEND
+PRIM_RECV_REDUCE_SEND = PrimitiveAction.RECV | PrimitiveAction.REDUCE | PrimitiveAction.SEND
+PRIM_RECV_REDUCE_COPY = PrimitiveAction.RECV | PrimitiveAction.REDUCE | PrimitiveAction.COPY
+PRIM_RECV_REDUCE_COPY_SEND = (
+    PrimitiveAction.RECV
+    | PrimitiveAction.REDUCE
+    | PrimitiveAction.COPY
+    | PrimitiveAction.SEND
+)
+
+
+class ExecOutcome(enum.Enum):
+    """Result of attempting to execute the current primitive."""
+
+    SUCCESS = "success"
+    WAIT_RECV = "wait_recv"
+    WAIT_SEND = "wait_send"
+    ALL_DONE = "all_done"
+
+
+@dataclass
+class PrimitiveOutcome:
+    """Outcome plus the wait key to block/spin on when not successful."""
+
+    outcome: ExecOutcome
+    primitive: Primitive = None
+    wait_key: tuple = None
+    busy_time_us: float = 0.0
+
+
+class PrimitiveExecutor:
+    """Executes one rank's primitive sequence of one collective.
+
+    The executor's ``position`` is the *dynamic context* of the collective on
+    this GPU (Sec. 4.2): saving and restoring it is what makes preemption and
+    resumption correct, because every already-executed primitive's data stays
+    visible in the connectors.
+    """
+
+    def __init__(
+        self,
+        collective_id,
+        group_rank,
+        communicator,
+        primitives,
+        cost_model=None,
+    ):
+        self.collective_id = collective_id
+        self.group_rank = group_rank
+        self.communicator = communicator
+        self.primitives = list(primitives)
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.position = 0
+        self.executed_primitives = 0
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def total_primitives(self):
+        return len(self.primitives)
+
+    @property
+    def remaining(self):
+        return len(self.primitives) - self.position
+
+    def done(self):
+        return self.position >= len(self.primitives)
+
+    def current(self):
+        if self.done():
+            return None
+        return self.primitives[self.position]
+
+    def progress_fraction(self):
+        if not self.primitives:
+            return 1.0
+        return self.position / len(self.primitives)
+
+    # -- context save/restore ----------------------------------------------------
+
+    def save_dynamic_context(self):
+        """Return the dynamic context (resume point) of this collective part."""
+        return {"position": self.position}
+
+    def load_dynamic_context(self, context):
+        position = context["position"]
+        if not 0 <= position <= len(self.primitives):
+            raise InvalidStateError(
+                f"invalid saved position {position} for collective {self.collective_id}"
+            )
+        self.position = position
+
+    # -- execution -----------------------------------------------------------------
+
+    def _recv_channel(self, primitive):
+        return self.communicator.channel(primitive.recv_peer, self.group_rank)
+
+    def _send_channel(self, primitive):
+        return self.communicator.channel(self.group_rank, primitive.send_peer)
+
+    def peek_blockers(self, now_us, max_wait_us=None):
+        """Return the outcome the next execution attempt would have, without
+        executing and without charging any time (used by schedulers)."""
+        if self.done():
+            return PrimitiveOutcome(ExecOutcome.ALL_DONE)
+        primitive = self.current()
+        if primitive.recvs and primitive.recv_peer is not None:
+            recv_channel = self._recv_channel(primitive)
+            if not recv_channel.readable(now_us, max_wait_us):
+                return PrimitiveOutcome(
+                    ExecOutcome.WAIT_RECV, primitive, recv_channel.readable_key
+                )
+        if primitive.sends and primitive.send_peer is not None:
+            send_channel = self._send_channel(primitive)
+            if not send_channel.writable():
+                return PrimitiveOutcome(
+                    ExecOutcome.WAIT_SEND, primitive, send_channel.writable_key
+                )
+        return PrimitiveOutcome(ExecOutcome.SUCCESS, primitive)
+
+    def try_execute_current(self, clock, engine=None, max_wait_us=None):
+        """Attempt the current primitive; on success advance ``clock`` and move on.
+
+        Returns a :class:`PrimitiveOutcome`.  A WAIT_* outcome does not charge
+        time — busy-wait accounting (spinning or blocking) is the caller's
+        responsibility, because NCCL and DFCCL handle it differently.
+        ``max_wait_us`` bounds how far into the future the executor will wait
+        for in-flight data (DFCCL passes its remaining spin budget).
+        """
+        if self.done():
+            return PrimitiveOutcome(ExecOutcome.ALL_DONE)
+
+        primitive = self.current()
+        recv_channel = None
+        send_channel = None
+
+        if primitive.recvs and primitive.recv_peer is not None:
+            recv_channel = self._recv_channel(primitive)
+            if not recv_channel.readable(clock.now, max_wait_us):
+                return PrimitiveOutcome(
+                    ExecOutcome.WAIT_RECV, primitive, recv_channel.readable_key
+                )
+        if primitive.sends and primitive.send_peer is not None:
+            send_channel = self._send_channel(primitive)
+            if not send_channel.writable():
+                return PrimitiveOutcome(
+                    ExecOutcome.WAIT_SEND, primitive, send_channel.writable_key
+                )
+
+        link = None
+        if send_channel is not None:
+            link = self.communicator.link(self.group_rank, primitive.send_peer)
+        busy = self.cost_model.primitive_time_us(
+            primitive.nbytes,
+            link=link,
+            sends=primitive.sends and primitive.send_peer is not None,
+            touches_memory=primitive.touches_memory,
+        )
+
+        if recv_channel is not None:
+            message = recv_channel.pop(clock.now)
+            # Spin until the in-flight data actually arrives, then consume it.
+            clock.advance_to(message.ready_time_us)
+            if engine is not None:
+                engine.signal(recv_channel.writable_key, clock.now)
+
+        clock.advance(busy)
+
+        if send_channel is not None:
+            message = ChunkMessage(
+                collective_id=self.collective_id,
+                chunk_index=primitive.chunk_index,
+                step=primitive.step,
+                nbytes=primitive.nbytes,
+                ready_time_us=clock.now,
+            )
+            send_channel.push(message)
+            if engine is not None:
+                engine.signal(send_channel.readable_key, clock.now)
+
+        self.position += 1
+        self.executed_primitives += 1
+        return PrimitiveOutcome(ExecOutcome.SUCCESS, primitive, busy_time_us=busy)

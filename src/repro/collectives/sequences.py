@@ -1,0 +1,218 @@
+"""Per-rank primitive sequence generation for the Ring algorithm.
+
+Every common collective (all-reduce, all-gather, reduce-scatter, reduce,
+broadcast) is compiled into a sequence of primitives for each participating
+rank, exactly as described in Sec. 4.1: the input is divided into regular
+chunks and the rank executes its primitive sequence once per chunk loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import CollectiveKind
+from repro.collectives.primitives import (
+    PRIM_COPY,
+    PRIM_RECV,
+    PRIM_RECV_COPY_SEND,
+    PRIM_RECV_REDUCE_COPY,
+    PRIM_RECV_REDUCE_COPY_SEND,
+    PRIM_RECV_REDUCE_SEND,
+    PRIM_SEND,
+    Primitive,
+)
+
+#: Default chunk size (bytes) per ring slice, matching NCCL's Simple protocol
+#: slice granularity order of magnitude.
+DEFAULT_CHUNK_BYTES = 128 << 10
+
+
+def chunk_loops(nbytes, group_size, chunk_bytes=DEFAULT_CHUNK_BYTES, per_rank_slices=True):
+    """Split ``nbytes`` into chunk loops.
+
+    Returns a list of per-loop chunk sizes (the bytes each primitive of that
+    loop carries).  When ``per_rank_slices`` is true the data is additionally
+    divided across the ``group_size`` ring slices, as all-reduce and
+    reduce-scatter do; broadcast-style chains process the whole chunk per loop.
+    """
+    if nbytes <= 0:
+        raise ConfigurationError(f"collective payload must be positive, got {nbytes}")
+    divisor = group_size if per_rank_slices else 1
+    loop_bytes = chunk_bytes * divisor
+    nloops = max(1, math.ceil(nbytes / loop_bytes))
+    sizes = []
+    remaining = nbytes
+    for _ in range(nloops):
+        this_loop = min(loop_bytes, remaining)
+        sizes.append(max(1, math.ceil(this_loop / divisor)))
+        remaining -= this_loop
+    return sizes
+
+
+def _ring_peers(group_rank, group_size):
+    send_peer = (group_rank + 1) % group_size
+    recv_peer = (group_rank - 1) % group_size
+    return send_peer, recv_peer
+
+
+def _all_reduce_loop(group_rank, group_size, loop, nbytes):
+    """2*(n-1) primitives: reduce-scatter phase then all-gather phase."""
+    send_peer, recv_peer = _ring_peers(group_rank, group_size)
+    primitives = []
+    step = 0
+    primitives.append(
+        Primitive("send", PRIM_SEND, loop, step, chunk_index=group_rank, nbytes=nbytes,
+                  send_peer=send_peer)
+    )
+    for _ in range(group_size - 2):
+        step += 1
+        primitives.append(
+            Primitive("recvReduceSend", PRIM_RECV_REDUCE_SEND, loop, step,
+                      chunk_index=(group_rank - step) % group_size, nbytes=nbytes,
+                      send_peer=send_peer, recv_peer=recv_peer)
+        )
+    step += 1
+    primitives.append(
+        Primitive("recvReduceCopySend", PRIM_RECV_REDUCE_COPY_SEND, loop, step,
+                  chunk_index=(group_rank - step) % group_size, nbytes=nbytes,
+                  send_peer=send_peer, recv_peer=recv_peer)
+    )
+    for _ in range(group_size - 2):
+        step += 1
+        primitives.append(
+            Primitive("recvCopySend", PRIM_RECV_COPY_SEND, loop, step,
+                      chunk_index=(group_rank - step) % group_size, nbytes=nbytes,
+                      send_peer=send_peer, recv_peer=recv_peer)
+        )
+    step += 1
+    primitives.append(
+        Primitive("recv", PRIM_RECV, loop, step,
+                  chunk_index=(group_rank - step) % group_size, nbytes=nbytes,
+                  recv_peer=recv_peer)
+    )
+    return primitives
+
+
+def _all_gather_loop(group_rank, group_size, loop, nbytes):
+    """n primitives: send own slice, forward n-2 slices, receive the last."""
+    send_peer, recv_peer = _ring_peers(group_rank, group_size)
+    primitives = [
+        Primitive("send", PRIM_SEND, loop, 0, chunk_index=group_rank, nbytes=nbytes,
+                  send_peer=send_peer)
+    ]
+    for step in range(1, group_size - 1):
+        primitives.append(
+            Primitive("recvCopySend", PRIM_RECV_COPY_SEND, loop, step,
+                      chunk_index=(group_rank - step) % group_size, nbytes=nbytes,
+                      send_peer=send_peer, recv_peer=recv_peer)
+        )
+    primitives.append(
+        Primitive("recv", PRIM_RECV, loop, group_size - 1,
+                  chunk_index=(group_rank + 1) % group_size, nbytes=nbytes,
+                  recv_peer=recv_peer)
+    )
+    return primitives
+
+
+def _reduce_scatter_loop(group_rank, group_size, loop, nbytes):
+    """n primitives: send, n-2 recvReduceSend, final recvReduceCopy."""
+    send_peer, recv_peer = _ring_peers(group_rank, group_size)
+    primitives = [
+        Primitive("send", PRIM_SEND, loop, 0, chunk_index=group_rank, nbytes=nbytes,
+                  send_peer=send_peer)
+    ]
+    for step in range(1, group_size - 1):
+        primitives.append(
+            Primitive("recvReduceSend", PRIM_RECV_REDUCE_SEND, loop, step,
+                      chunk_index=(group_rank - step) % group_size, nbytes=nbytes,
+                      send_peer=send_peer, recv_peer=recv_peer)
+        )
+    primitives.append(
+        Primitive("recvReduceCopy", PRIM_RECV_REDUCE_COPY, loop, group_size - 1,
+                  chunk_index=(group_rank + 1) % group_size, nbytes=nbytes,
+                  recv_peer=recv_peer)
+    )
+    return primitives
+
+
+def _chain_loop(group_rank, group_size, loop, nbytes, root, reducing):
+    """One primitive per loop for broadcast (root → ring) or reduce (ring → root)."""
+    # The chain visits ranks in ring order starting after the root and ending
+    # at the rank just before the root (broadcast) or at the root (reduce).
+    position = (group_rank - root) % group_size
+    send_peer = (group_rank + 1) % group_size
+    recv_peer = (group_rank - 1) % group_size
+    if reducing:
+        # Reduce: data flows towards the root; chain start is root+1.
+        if position == 1 or group_size == 1:
+            return [Primitive("send", PRIM_SEND, loop, 0, chunk_index=loop, nbytes=nbytes,
+                              send_peer=send_peer)]
+        if group_rank == root:
+            return [Primitive("recvReduceCopy", PRIM_RECV_REDUCE_COPY, loop, 0,
+                              chunk_index=loop, nbytes=nbytes, recv_peer=recv_peer)]
+        return [Primitive("recvReduceSend", PRIM_RECV_REDUCE_SEND, loop, 0,
+                          chunk_index=loop, nbytes=nbytes,
+                          send_peer=send_peer, recv_peer=recv_peer)]
+    # Broadcast: data flows away from the root; chain end is root-1.
+    if group_rank == root:
+        return [Primitive("send", PRIM_SEND, loop, 0, chunk_index=loop, nbytes=nbytes,
+                          send_peer=send_peer)]
+    if position == group_size - 1:
+        return [Primitive("recv", PRIM_RECV, loop, 0, chunk_index=loop, nbytes=nbytes,
+                          recv_peer=recv_peer)]
+    return [Primitive("recvCopySend", PRIM_RECV_COPY_SEND, loop, 0, chunk_index=loop,
+                      nbytes=nbytes, send_peer=send_peer, recv_peer=recv_peer)]
+
+
+def generate_primitive_sequence(
+    kind,
+    group_rank,
+    group_size,
+    nbytes,
+    chunk_bytes=DEFAULT_CHUNK_BYTES,
+    root=0,
+):
+    """Generate the full primitive sequence of one rank for one collective call.
+
+    ``nbytes`` is the collective's input payload in bytes (per-rank input for
+    all-gather, total for the others), matching :class:`CollectiveSpec.nbytes`.
+    """
+    if group_size < 1:
+        raise ConfigurationError("group_size must be at least 1")
+    if not 0 <= group_rank < group_size:
+        raise ConfigurationError(f"group_rank {group_rank} out of range for size {group_size}")
+    if group_size == 1:
+        return [Primitive("copy", PRIM_COPY, 0, 0, chunk_index=0, nbytes=nbytes)]
+
+    sliced = kind in (
+        CollectiveKind.ALL_REDUCE,
+        CollectiveKind.REDUCE_SCATTER,
+        CollectiveKind.ALL_GATHER,
+    )
+    loops = chunk_loops(nbytes, group_size, chunk_bytes, per_rank_slices=sliced)
+
+    sequence = []
+    for loop, loop_nbytes in enumerate(loops):
+        if kind is CollectiveKind.ALL_REDUCE:
+            sequence.extend(_all_reduce_loop(group_rank, group_size, loop, loop_nbytes))
+        elif kind is CollectiveKind.ALL_GATHER:
+            sequence.extend(_all_gather_loop(group_rank, group_size, loop, loop_nbytes))
+        elif kind is CollectiveKind.REDUCE_SCATTER:
+            sequence.extend(_reduce_scatter_loop(group_rank, group_size, loop, loop_nbytes))
+        elif kind is CollectiveKind.BROADCAST:
+            sequence.extend(_chain_loop(group_rank, group_size, loop, loop_nbytes, root, False))
+        elif kind is CollectiveKind.REDUCE:
+            sequence.extend(_chain_loop(group_rank, group_size, loop, loop_nbytes, root, True))
+        elif kind is CollectiveKind.SEND_RECV:
+            # Point-to-point modelled as a two-rank broadcast chain.
+            sequence.extend(_chain_loop(group_rank, group_size, loop, loop_nbytes, root, False))
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(f"unsupported collective kind {kind}")
+    return sequence
+
+
+def primitive_count(kind, group_size, nbytes, chunk_bytes=DEFAULT_CHUNK_BYTES):
+    """Number of primitives a rank executes for one collective call."""
+    sequence = generate_primitive_sequence(kind, 0, group_size, nbytes, chunk_bytes)
+    return len(sequence)

@@ -1,0 +1,37 @@
+"""Shared building blocks used by every other subpackage.
+
+This package intentionally has no dependency on the rest of :mod:`repro`
+so that any module may import it without creating cycles.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    ResourceExhaustedError,
+    SimulationError,
+)
+from repro.common.rng import DeterministicRNG
+from repro.common.types import (
+    CollectiveKind,
+    DataType,
+    LinkType,
+    PrimitiveAction,
+    ReduceOp,
+)
+from repro.common.vtime import VirtualClock
+
+__all__ = [
+    "CollectiveKind",
+    "ConfigurationError",
+    "DataType",
+    "DeadlockError",
+    "DeterministicRNG",
+    "LinkType",
+    "PrimitiveAction",
+    "ReduceOp",
+    "ReproError",
+    "ResourceExhaustedError",
+    "SimulationError",
+    "VirtualClock",
+]

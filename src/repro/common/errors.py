@@ -1,0 +1,43 @@
+"""Exception hierarchy for the reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The simulated cluster reached a state from which no progress is possible.
+
+    The exception carries the wait-for information collected by the engine so
+    that callers (tests, benchmarks, the deadlock study) can inspect the cycle
+    that caused the hang.
+    """
+
+    def __init__(self, message, wait_graph=None, blocked=None):
+        super().__init__(message)
+        self.wait_graph = dict(wait_graph or {})
+        self.blocked = list(blocked or [])
+
+
+class ResourceExhaustedError(ReproError):
+    """A bounded simulated resource (queue slot, memory, blocks) ran out."""
+
+
+class QueueFullError(ResourceExhaustedError):
+    """A submission or completion queue has no writable slot."""
+
+
+class QueueEmptyError(ReproError):
+    """A queue read was attempted while no element was available."""
+
+
+class InvalidStateError(ReproError):
+    """An API call was made while the object was in the wrong lifecycle state."""

@@ -1,0 +1,54 @@
+"""Virtual time used throughout the simulation.
+
+All durations are expressed in microseconds as floats.  A ``VirtualClock`` is
+attached to every simulated active entity (GPU, host thread, network link
+endpoint); the event engine always advances the entity with the smallest local
+time, which keeps all clocks within one scheduling quantum of each other.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically non-decreasing local clock measured in microseconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_us=0.0):
+        self._now = float(start_us)
+
+    @property
+    def now(self):
+        """Current local time in microseconds."""
+        return self._now
+
+    def advance(self, delta_us):
+        """Advance the clock by ``delta_us`` microseconds and return the new time."""
+        if delta_us < 0:
+            raise ValueError(f"cannot advance clock by negative time {delta_us}")
+        self._now += delta_us
+        return self._now
+
+    def advance_to(self, timestamp_us):
+        """Move the clock forward to ``timestamp_us`` if it is in the future."""
+        if timestamp_us > self._now:
+            self._now = timestamp_us
+        return self._now
+
+    def __repr__(self):
+        return f"VirtualClock(now={self._now:.3f}us)"
+
+
+def us_to_ms(us):
+    """Convert microseconds to milliseconds."""
+    return us / 1e3
+
+
+def us_to_s(us):
+    """Convert microseconds to seconds."""
+    return us / 1e6
+
+
+def gbps_bytes_per_us(gbps):
+    """Convert GB/s to bytes per microsecond."""
+    return gbps * 1e3

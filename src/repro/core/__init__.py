@@ -1,0 +1,62 @@
+"""DFCCL — the Deadlock Free Collective Communication Library (the paper's contribution).
+
+The package mirrors the architecture of Fig. 4:
+
+* CPU side: the rank context with its user-facing API (``dfccl_init``,
+  ``dfccl_register_*``, ``dfccl_run_*``, ``dfccl_destroy``), the submission
+  queue (SQ), the completion queue (CQ, in three implementation variants), the
+  callback map, and the poller thread.
+* GPU side: the daemon kernel, which fetches SQEs, keeps collectives in its
+  task queue, executes their primitives in a two-phase-blocking manner with
+  spin thresholds, preempts stuck collectives via context switch, writes CQEs,
+  and voluntarily quits when idle or when nothing can progress.
+
+Scheduling (Sec. 4.3) is provided by the adaptive stickiness adjustment
+scheme: an ordering policy (FIFO or priority based) plus a spin-threshold
+policy (naive fixed or adaptive gang-scheduling).
+"""
+
+from repro.core.api import DfcclBackend, InvocationHandle, RankContext
+from repro.core.config import DfcclConfig
+from repro.core.context import CollectiveContextBuffer, ActiveContextCache
+from repro.core.daemon import DaemonKernel
+from repro.core.profiler import AutoProfiler
+from repro.core.queues import (
+    CompletionQueueBase,
+    OptimizedCasCQ,
+    OptimizedRingCQ,
+    SubmissionQueue,
+    VanillaRingCQ,
+    make_completion_queue,
+)
+from repro.core.registration import RegisteredCollective
+from repro.core.scheduling import (
+    AdaptiveSpinPolicy,
+    FifoOrderingPolicy,
+    NaiveSpinPolicy,
+    PriorityOrderingPolicy,
+    TaskQueue,
+)
+
+__all__ = [
+    "ActiveContextCache",
+    "AdaptiveSpinPolicy",
+    "AutoProfiler",
+    "CollectiveContextBuffer",
+    "CompletionQueueBase",
+    "DaemonKernel",
+    "DfcclBackend",
+    "DfcclConfig",
+    "FifoOrderingPolicy",
+    "InvocationHandle",
+    "NaiveSpinPolicy",
+    "OptimizedCasCQ",
+    "OptimizedRingCQ",
+    "PriorityOrderingPolicy",
+    "RankContext",
+    "RegisteredCollective",
+    "SubmissionQueue",
+    "TaskQueue",
+    "VanillaRingCQ",
+    "make_completion_queue",
+]

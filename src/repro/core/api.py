@@ -1,0 +1,370 @@
+"""Public DFCCL API: rank contexts, registration, invocation and destruction.
+
+The CPU-side flow mirrors Listing 1 of the paper:
+
+* ``DfcclBackend.init_rank`` / ``dfccl_init``  — create the rank context
+  (SQ, CQ, callback map, poller thread) for one GPU;
+* ``register_*`` / ``dfccl_register_*`` — register a collective once, with its
+  spec, device set and optional priority;
+* ``submit`` / ``dfccl_run_*`` — invoke a registered collective, recording a
+  callback; the call is asynchronous and non-blocking;
+* ``destroy`` / ``dfccl_destroy`` — insert the exiting SQE and tear down.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError, InvalidStateError
+from repro.common.types import CollectiveKind, CollectiveSpec, DataType, ReduceOp
+from repro.core.communicator_pool import CommunicatorPool
+from repro.core.config import DfcclConfig
+from repro.core.context import CollectiveContextBuffer, memory_overhead_report
+from repro.core.daemon import DaemonKernel
+from repro.core.poller import Poller
+from repro.core.queues import Sqe, SubmissionQueue, make_completion_queue
+from repro.core.registration import RegisteredCollective
+from repro.core.scheduling import DaemonStats
+from repro.gpusim.host import CallHook, WaitForSignal
+
+
+class InvocationHandle:
+    """User-facing handle for one ``dfccl_run_*`` call on one rank."""
+
+    def __init__(self, rank_ctx, invocation, group_rank, callback=None):
+        self.rank_ctx = rank_ctx
+        self.invocation = invocation
+        self.group_rank = group_rank
+        self.callback = callback
+
+    @property
+    def done(self):
+        """True once this rank's completion callback has run."""
+        return self.invocation.is_done(self.group_rank)
+
+    @property
+    def completion_key(self):
+        return self.invocation.completion_key(self.group_rank)
+
+    def submit_op(self):
+        """Host op that performs the asynchronous ``dfccl_run_*`` call."""
+        return CallHook(
+            lambda host: self.rank_ctx.submit_invocation(self, host.now),
+            detail=f"dfccl_run coll {self.invocation.coll_id}",
+        )
+
+    def wait_op(self):
+        """Host op that waits until this rank's callback has fired."""
+        return WaitForSignal(
+            self.completion_key,
+            predicate=lambda: self.done,
+            detail=f"wait coll {self.invocation.coll_id} inv {self.invocation.index}",
+        )
+
+    def ops(self):
+        """Submit immediately followed by wait (synchronous-style usage)."""
+        return [self.submit_op(), self.wait_op()]
+
+
+class RankContext:
+    """Per-GPU DFCCL state: queues, registered collectives, daemon, poller."""
+
+    def __init__(self, backend, global_rank):
+        self.backend = backend
+        self.config = backend.config
+        self.cluster = backend.cluster
+        self.global_rank = global_rank
+        self.device = self.cluster.device(global_rank)
+
+        self.sq = SubmissionQueue(self.config.sq_capacity)
+        self.consumer_id = f"daemon-r{global_rank}"
+        self.sq.register_consumer(self.consumer_id)
+        self.cq = make_completion_queue(self.config.cq_variant, self.config.cq_capacity)
+
+        self.context_buffer = CollectiveContextBuffer(self.config)
+        self.registered = {}
+        self.stats = DaemonStats()
+
+        self.outstanding = 0
+        self.destroyed = False
+        self.finally_exited = False
+
+        self._pending_entries = []
+        self._daemon_alive = False
+        self._daemon_generation = 0
+        self._last_quit_time_us = 0.0
+        self.current_daemon = None
+
+        self.poller = Poller(self)
+        self.cluster.engine.add_actor(self.poller)
+
+    # -- wait keys -----------------------------------------------------------------
+
+    @property
+    def submitted_key(self):
+        return ("dfccl-submitted", self.global_rank)
+
+    @property
+    def cqe_key(self):
+        return ("dfccl-cqe", self.global_rank)
+
+    @property
+    def destroyed_key(self):
+        return ("dfccl-destroyed", self.global_rank)
+
+    # -- registration -----------------------------------------------------------------
+
+    def register(self, coll):
+        """Register a collective on this rank (called by the backend)."""
+        if coll.coll_id in self.registered:
+            raise ConfigurationError(
+                f"collective id {coll.coll_id} already registered on rank {self.global_rank}"
+            )
+        self.registered[coll.coll_id] = coll
+        group_rank = self.group_rank_for(coll)
+        from repro.core.context import StaticContext
+
+        static = StaticContext(
+            coll_id=coll.coll_id,
+            kind=coll.spec.kind.value,
+            group_size=coll.group_size,
+            group_rank=group_rank,
+            nbytes=coll.spec.nbytes,
+            primitive_count=0,
+        )
+        self.context_buffer.register(coll.coll_id, static)
+
+    def group_rank_for(self, coll):
+        return coll.group_rank_of_device(self.device)
+
+    def daemon_grid_size(self):
+        """The daemon launches with the largest grid among registered collectives."""
+        sizes = [coll.grid_size for coll in self.registered.values()]
+        return max(sizes) if sizes else 1
+
+    def daemon_block_size(self):
+        sizes = [coll.block_size for coll in self.registered.values()]
+        return max(sizes) if sizes else 256
+
+    # -- submission (dfccl_run_*) ------------------------------------------------------
+
+    def submit_invocation(self, handle, time_us):
+        """CPU side of ``dfccl_run_*``: insert the SQE and record the callback."""
+        if self.destroyed:
+            raise InvalidStateError(
+                f"rank {self.global_rank} context already destroyed"
+            )
+        invocation = handle.invocation
+        invocation.set_callback(handle.group_rank, handle.callback)
+        invocation.mark_submitted(handle.group_rank, time_us)
+        coll = invocation.coll
+        self.sq.push(
+            Sqe(
+                coll_id=coll.coll_id,
+                invocation_id=invocation.index,
+                priority=coll.priority,
+                submit_time_us=time_us,
+            )
+        )
+        self.outstanding += 1
+        engine = self.cluster.engine
+        engine.signal(self.submitted_key, time_us)
+        self.ensure_daemon_running(time_us)
+
+    def invocation_for_sqe(self, sqe):
+        coll = self.registered[sqe.coll_id]
+        return coll.invocation(sqe.invocation_id)
+
+    def note_entry_fetched(self, invocation, priority):
+        """Hook for statistics when the daemon adds a fetched SQE to its queue."""
+
+    # -- daemon lifecycle ---------------------------------------------------------------
+
+    def ensure_daemon_running(self, time_us):
+        """Event-driven starting: launch the daemon kernel if it is not running."""
+        if self._daemon_alive or self.finally_exited:
+            return None
+        self._daemon_generation += 1
+        kernel = DaemonKernel(self, self._daemon_generation)
+        self._daemon_alive = True
+        self.current_daemon = kernel
+        self.device.enqueue_kernel(kernel, stream_name="dfccl-daemon", time_us=time_us)
+        return kernel
+
+    def maybe_relaunch_daemon(self, time_us):
+        """Relaunch after a voluntary quit once the back-off delay elapsed."""
+        if self._daemon_alive or self.finally_exited:
+            return None
+        if time_us - self._last_quit_time_us < self.config.relaunch_delay_us:
+            return None
+        return self.ensure_daemon_running(time_us)
+
+    def on_daemon_exit(self, daemon, final, remaining_entries):
+        """Called by the daemon kernel when it quits (voluntarily or finally)."""
+        self._daemon_alive = False
+        self.current_daemon = None
+        self._last_quit_time_us = daemon.now
+        if final:
+            self.finally_exited = True
+        for entry in remaining_entries:
+            self._pending_entries.append((entry.invocation, entry.priority))
+        # Wake the poller so it notices the quit and can schedule a relaunch.
+        self.cluster.engine.signal(self.cqe_key, daemon.now)
+
+    def take_pending_entries(self):
+        """Hand incomplete collectives of previous daemon generations to a new one."""
+        pending, self._pending_entries = self._pending_entries, []
+        return pending
+
+    @property
+    def daemon_alive(self):
+        return self._daemon_alive
+
+    # -- completion ------------------------------------------------------------------------
+
+    def on_gpu_complete(self, invocation, time_us):
+        """Hook called by the daemon when this rank's part of an invocation completes."""
+
+    def deliver_completion(self, cqe, clock):
+        """Run the callback bound to a completed collective (poller side)."""
+        coll = self.registered[cqe.coll_id]
+        invocation = coll.invocation(cqe.invocation_id)
+        group_rank = self.group_rank_for(coll)
+        callback = invocation.callback_for(group_rank)
+        if callback is not None:
+            callback(invocation)
+        invocation.mark_callback_fired(group_rank)
+        self.outstanding -= 1
+        self.cluster.engine.signal(invocation.completion_key(group_rank), clock.now)
+
+    # -- destruction --------------------------------------------------------------------------
+
+    def destroy(self, time_us):
+        """CPU side of ``dfccl_destroy``: request final daemon exit."""
+        if self.destroyed:
+            return
+        self.destroyed = True
+        if self._daemon_alive:
+            self.sq.push(Sqe(coll_id=-1, invocation_id=-1, exiting=True,
+                             submit_time_us=time_us))
+        else:
+            self.finally_exited = True
+        self.cluster.engine.signal(self.destroyed_key, time_us)
+
+    def destroy_op(self):
+        """Host op performing ``dfccl_destroy`` for this rank."""
+        return CallHook(lambda host: self.destroy(host.now), detail="dfccl_destroy")
+
+    # -- reporting ------------------------------------------------------------------------------
+
+    def memory_overheads(self, num_collectives=None):
+        count = num_collectives if num_collectives is not None else len(self.registered)
+        return memory_overhead_report(self.config, count, num_blocks=self.daemon_grid_size())
+
+
+class DfcclBackend:
+    """DFCCL over a simulated cluster: the entry point for applications."""
+
+    def __init__(self, cluster, config=None):
+        self.cluster = cluster
+        self.config = (config or DfcclConfig()).validate()
+        self.pool = CommunicatorPool(
+            cluster.interconnect, channel_capacity=self.config.channel_capacity
+        )
+        self.contexts = {}
+        self._collectives = {}
+
+    # -- rank contexts (dfccl_init) -----------------------------------------------------------
+
+    def init_rank(self, global_rank):
+        """Create (or return) the rank context for one GPU — ``dfcclInit``."""
+        ctx = self.contexts.get(global_rank)
+        if ctx is None:
+            ctx = RankContext(self, global_rank)
+            self.contexts[global_rank] = ctx
+        return ctx
+
+    def init_all_ranks(self, ranks=None):
+        ranks = ranks if ranks is not None else range(self.cluster.world_size)
+        return [self.init_rank(rank) for rank in ranks]
+
+    def context(self, global_rank):
+        return self.init_rank(global_rank)
+
+    # -- registration (dfccl_register_*) ----------------------------------------------------------
+
+    def register_collective(self, coll_id, spec, ranks=None, priority=0, name=None):
+        """Register a collective over ``ranks`` with a unique ``coll_id``."""
+        if coll_id in self._collectives:
+            raise ConfigurationError(f"collective id {coll_id} already registered")
+        ranks = list(ranks) if ranks is not None else list(range(self.cluster.world_size))
+        devices = [self.cluster.device(rank) for rank in ranks]
+        coll = RegisteredCollective(
+            coll_id, spec, devices, self.cluster.interconnect, self.config,
+            priority=priority, name=name, communicator=self.pool.acquire(devices),
+        )
+        self._collectives[coll_id] = coll
+        coll.global_ranks = ranks
+        for rank in ranks:
+            self.init_rank(rank).register(coll)
+        return coll
+
+    def collective(self, coll_id):
+        return self._collectives[coll_id]
+
+    def register_all_reduce(self, coll_id, count, ranks=None, dtype=DataType.FLOAT32,
+                            op=ReduceOp.SUM, priority=0):
+        spec = CollectiveSpec(CollectiveKind.ALL_REDUCE, count, dtype, op, priority=priority)
+        return self.register_collective(coll_id, spec, ranks, priority)
+
+    def register_all_gather(self, coll_id, count, ranks=None, dtype=DataType.FLOAT32,
+                            priority=0):
+        spec = CollectiveSpec(CollectiveKind.ALL_GATHER, count, dtype, priority=priority)
+        return self.register_collective(coll_id, spec, ranks, priority)
+
+    def register_reduce_scatter(self, coll_id, count, ranks=None, dtype=DataType.FLOAT32,
+                                op=ReduceOp.SUM, priority=0):
+        spec = CollectiveSpec(CollectiveKind.REDUCE_SCATTER, count, dtype, op,
+                              priority=priority)
+        return self.register_collective(coll_id, spec, ranks, priority)
+
+    def register_broadcast(self, coll_id, count, ranks=None, dtype=DataType.FLOAT32,
+                           root=0, priority=0):
+        spec = CollectiveSpec(CollectiveKind.BROADCAST, count, dtype, root=root,
+                              priority=priority)
+        return self.register_collective(coll_id, spec, ranks, priority)
+
+    def register_reduce(self, coll_id, count, ranks=None, dtype=DataType.FLOAT32,
+                        op=ReduceOp.SUM, root=0, priority=0):
+        spec = CollectiveSpec(CollectiveKind.REDUCE, count, dtype, op, root=root,
+                              priority=priority)
+        return self.register_collective(coll_id, spec, ranks, priority)
+
+    # -- invocation (dfccl_run_*) ----------------------------------------------------------------
+
+    def submit(self, global_rank, coll_id, callback=None):
+        """Prepare one ``dfccl_run_*`` call; returns an :class:`InvocationHandle`.
+
+        The returned handle produces the host ops that perform the actual
+        asynchronous submission and the optional wait for completion.
+        """
+        ctx = self.context(global_rank)
+        coll = self._collectives[coll_id]
+        group_rank = ctx.group_rank_for(coll)
+        invocation = coll.next_invocation_for_rank(group_rank)
+        return InvocationHandle(ctx, invocation, group_rank, callback=callback)
+
+    # -- destruction (dfccl_destroy) ----------------------------------------------------------------
+
+    def destroy_op(self, global_rank):
+        return self.context(global_rank).destroy_op()
+
+    # -- reporting ---------------------------------------------------------------------------------
+
+    def stats(self, global_rank):
+        return self.context(global_rank).stats
+
+    def all_stats(self):
+        return {rank: ctx.stats for rank, ctx in sorted(self.contexts.items())}
+
+    def memory_overhead_report(self, num_collectives=None):
+        count = num_collectives if num_collectives is not None else len(self._collectives)
+        return memory_overhead_report(self.config, count)

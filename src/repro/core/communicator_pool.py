@@ -1,0 +1,52 @@
+"""Communicator pool (Sec. 3.2).
+
+DFCCL manages the resources for inter-GPU data transfer transparently: the
+pool creates and allocates communicators (channel sets) for registered
+collectives on demand, and recycles them when a collective is unregistered.
+Each concurrently registered collective gets its own communicator so that a
+preempted collective's connectors are never reused by another collective
+(required for the correctness argument of Sec. 4.5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.collectives.channels import Communicator
+
+
+class CommunicatorPool:
+    """Creates, hands out and recycles communicators keyed by device set."""
+
+    def __init__(self, interconnect, channel_capacity=None):
+        self.interconnect = interconnect
+        self.channel_capacity = channel_capacity
+        self._free = defaultdict(list)
+        self.created = 0
+        self.reused = 0
+
+    @staticmethod
+    def _key(devices):
+        return tuple(str(device.device_id) for device in devices)
+
+    def acquire(self, devices):
+        """Return a communicator over ``devices``, reusing a released one if possible."""
+        key = self._key(devices)
+        free_list = self._free[key]
+        if free_list:
+            self.reused += 1
+            return free_list.pop()
+        self.created += 1
+        return Communicator(
+            list(devices), self.interconnect, channel_capacity=self.channel_capacity
+        )
+
+    def release(self, communicator):
+        """Return a communicator to the pool for reuse."""
+        communicator.reset_channels()
+        key = self._key(communicator.devices)
+        self._free[key].append(communicator)
+
+    def stats(self):
+        return {"created": self.created, "reused": self.reused,
+                "free": sum(len(v) for v in self._free.values())}

@@ -1,0 +1,60 @@
+"""The CPU-side poller thread.
+
+The poller monitors the completion queue, executes the callbacks bound to
+completed collectives, and implements DFCCL's event-driven starting: whenever
+collectives are outstanding but the daemon kernel is not running (because it
+quit voluntarily), the poller relaunches it.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.engine import Actor, StepResult
+
+
+class Poller(Actor):
+    """Per-rank completion poller (a daemon/service actor)."""
+
+    daemon = True
+
+    def __init__(self, rank_ctx):
+        super().__init__(f"dfccl-poller-r{rank_ctx.global_rank}")
+        self.ctx = rank_ctx
+        self.callbacks_run = 0
+
+    def _drain_cq(self):
+        drained = 0
+        while len(self.ctx.cq) > 0:
+            cqe = self.ctx.cq.pop()
+            self.clock.advance(self.ctx.config.callback_cost_us)
+            self.ctx.deliver_completion(cqe, self.clock)
+            self.callbacks_run += 1
+            drained += 1
+        return drained
+
+    def step(self):
+        drained = self._drain_cq()
+
+        if self.ctx.destroyed and self.ctx.outstanding == 0:
+            return StepResult.done("rank context destroyed")
+
+        if self.ctx.outstanding > 0:
+            if not self.ctx.daemon_alive:
+                # Event-driven starting: relaunch the daemon kernel when CQEs
+                # are fewer than SQEs and it is not currently running.
+                self.ctx.maybe_relaunch_daemon(self.now)
+                return StepResult.sleep(
+                    self.now + self.ctx.config.poller_interval_us,
+                    f"poller awaiting relaunch ({drained} callbacks run)",
+                )
+            # The daemon signals ``cqe_key`` for every CQE it writes and when
+            # it exits, so blocking here delivers callbacks with microsecond
+            # latency instead of polling-interval latency.
+            return StepResult.blocked(
+                [self.ctx.cqe_key, self.ctx.destroyed_key],
+                f"poller waiting for CQEs ({drained} callbacks run)",
+            )
+
+        return StepResult.blocked(
+            [self.ctx.submitted_key, self.ctx.cqe_key, self.ctx.destroyed_key],
+            "poller idle",
+        )

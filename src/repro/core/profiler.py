@@ -1,0 +1,85 @@
+"""Automated profiling of DFCCL parameters (Sec. 4.3 / 4.5).
+
+The total collective-execution overhead ``T = t_spin + t_switch + t_q_len`` is
+approximately ``N_spin + 1/N_spin`` as a function of the spin threshold
+(expression 2 in the paper): too small a threshold causes excessive context
+switches and long task queues, too large a threshold wastes time busy-waiting.
+The profiler estimates the expected peer skew from the link parameters and the
+collectives that will be registered, and picks an initial spin threshold and a
+voluntary-quit period near the Pareto knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import LinkType
+
+
+@dataclass
+class ProfileResult:
+    """Outcome of a calibration run."""
+
+    expected_gap_us: float
+    initial_spin_threshold: int
+    quit_period_us: float
+
+
+class AutoProfiler:
+    """Chooses spin thresholds and the quit period from workload hints."""
+
+    #: Spin long enough to ride out this many expected peer gaps before preempting.
+    SAFETY_FACTOR = 4.0
+    #: The quit period must cover several preempt-and-retry cycles.
+    QUIT_PERIODS = 12.0
+    #: Never recommend a threshold below this many polls.
+    MIN_THRESHOLD = 2_000
+
+    def __init__(self, config):
+        self.config = config
+
+    def expected_peer_gap_us(self, specs, interconnect=None, group_size=8):
+        """Expected time a collective waits for its slowest peer to show up.
+
+        The dominant sources of skew are the kernel-launch overhead on the
+        peer GPU and the transfer time of one chunk over the slowest link.
+        """
+        chunk = self.config.chunk_bytes
+        if interconnect is not None and group_size > 1:
+            beta = LinkType.SHM_SYS.beta_gbps
+        else:
+            beta = LinkType.SHM_PIX.beta_gbps
+        transfer = chunk / (beta * 1e3)
+        per_spec = []
+        for spec in specs or []:
+            slice_bytes = min(chunk, max(1, spec.nbytes // max(1, group_size)))
+            per_spec.append(slice_bytes / (beta * 1e3))
+        typical_transfer = max([transfer] + per_spec)
+        launch_skew = 8.0  # kernel-launch + host jitter
+        return typical_transfer + launch_skew
+
+    def calibrate(self, specs=None, interconnect=None, group_size=8):
+        """Return a :class:`ProfileResult` with the recommended parameters."""
+        gap = self.expected_peer_gap_us(specs, interconnect, group_size)
+        poll = self.config.cost_model.poll_cost_us
+        threshold = max(self.MIN_THRESHOLD, int(self.SAFETY_FACTOR * gap / poll))
+        quit_period = max(200.0, self.QUIT_PERIODS * gap)
+        return ProfileResult(
+            expected_gap_us=gap,
+            initial_spin_threshold=threshold,
+            quit_period_us=quit_period,
+        )
+
+    def tuned_config(self, specs=None, interconnect=None, group_size=8):
+        """Return a copy of the configuration with profiled parameters applied."""
+        result = self.calibrate(specs, interconnect, group_size)
+        return self.config.with_overrides(
+            initial_spin_threshold=result.initial_spin_threshold,
+            quit_period_us=result.quit_period_us,
+        )
+
+    @staticmethod
+    def overhead_model(spin_threshold, scale=1.0):
+        """The paper's qualitative overhead expression ``T ~ N + 1/N`` (expr. 2)."""
+        normalized = max(spin_threshold, 1e-9) / max(scale, 1e-9)
+        return normalized + 1.0 / normalized

@@ -1,0 +1,277 @@
+"""Submission queue (SQ) and the three completion queue (CQ) variants.
+
+The SQ is a single-producer-multi-consumer ring buffer: one CPU thread writes
+SQEs, every block of the daemon kernel reads them and a per-SQE read counter
+marks the slot writable again once all blocks have seen it.
+
+The CQ exists in the three variants evaluated in Fig. 7(c):
+
+* ``VanillaRingCQ`` — a textbook ring buffer: five host-memory operations plus
+  a memory fence per CQE write.
+* ``OptimizedRingCQ`` — encodes the collective ID and the tail in one 64-bit
+  atomic, four host-memory operations and no fence.
+* ``OptimizedCasCQ`` — abandons ring semantics: one ``atomicCAS_system`` into
+  any writable slot per CQE.
+
+All variants expose ``write_cost_us`` so the daemon kernel can charge the
+correct virtual time, and all behave like real bounded queues (including
+full/empty conditions) so their logic can be unit- and property-tested.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.common.errors import QueueEmptyError, QueueFullError
+
+_sqe_ids = itertools.count()
+
+
+@dataclass
+class Sqe:
+    """Submission queue element: one collective invocation request."""
+
+    coll_id: int
+    invocation_id: int
+    priority: int = 0
+    exiting: bool = False
+    submit_time_us: float = 0.0
+    sqe_id: int = field(default_factory=lambda: next(_sqe_ids))
+
+
+@dataclass
+class Cqe:
+    """Completion queue entry: carries only the completed collective's ID."""
+
+    coll_id: int
+    invocation_id: int
+    complete_time_us: float = 0.0
+
+
+class SubmissionQueue:
+    """SPMC ring buffer written by the host and read by all daemon blocks."""
+
+    def __init__(self, capacity=1024, num_consumers=1):
+        if capacity <= 0:
+            raise ValueError("SQ capacity must be positive")
+        self.capacity = capacity
+        self.num_consumers = num_consumers
+        self._slots = [None] * capacity
+        self._read_counters = [0] * capacity
+        self.head = 0          # next slot the producer writes
+        self._consumer_tails = {}
+        self.submitted = 0
+        self.retired = 0
+
+    def register_consumer(self, consumer_id):
+        """Register a daemon block as a consumer with its own tail pointer."""
+        self._consumer_tails.setdefault(consumer_id, self.head)
+
+    # -- producer (CPU) side -----------------------------------------------------
+
+    def writable(self):
+        slot = self.head % self.capacity
+        return self._slots[slot] is None
+
+    def push(self, sqe):
+        if not self.writable():
+            raise QueueFullError("submission queue is full")
+        slot = self.head % self.capacity
+        self._slots[slot] = sqe
+        self._read_counters[slot] = 0
+        self.head += 1
+        self.submitted += 1
+        return sqe
+
+    # -- consumer (daemon block) side -----------------------------------------------
+
+    def peek(self, consumer_id):
+        """Return the next unread SQE for this consumer without consuming it."""
+        tail = self._consumer_tails.get(consumer_id)
+        if tail is None:
+            raise KeyError(f"consumer {consumer_id!r} is not registered")
+        if tail >= self.head:
+            return None
+        return self._slots[tail % self.capacity]
+
+    def pop(self, consumer_id):
+        """Read the next SQE; the slot is recycled once every consumer read it."""
+        sqe = self.peek(consumer_id)
+        if sqe is None:
+            raise QueueEmptyError("submission queue has no new element for this consumer")
+        tail = self._consumer_tails[consumer_id]
+        slot = tail % self.capacity
+        self._consumer_tails[consumer_id] = tail + 1
+        self._read_counters[slot] += 1
+        if self._read_counters[slot] >= max(1, len(self._consumer_tails)):
+            self._slots[slot] = None
+            self.retired += 1
+        return sqe
+
+    def pending(self, consumer_id):
+        tail = self._consumer_tails.get(consumer_id, self.head)
+        return self.head - tail
+
+    def __len__(self):
+        return sum(1 for slot in self._slots if slot is not None)
+
+
+class CompletionQueueBase:
+    """Common behaviour of the CQ variants."""
+
+    variant = "base"
+
+    def __init__(self, capacity=1024):
+        if capacity <= 0:
+            raise ValueError("CQ capacity must be positive")
+        self.capacity = capacity
+        self.written = 0
+        self.consumed = 0
+
+    # -- costs ---------------------------------------------------------------------
+
+    def write_cost_us(self, config):
+        """Virtual time the daemon kernel spends writing one CQE."""
+        raise NotImplementedError
+
+    # -- queue behaviour --------------------------------------------------------------
+
+    def writable(self):
+        raise NotImplementedError
+
+    def push(self, cqe):
+        raise NotImplementedError
+
+    def pop(self):
+        raise NotImplementedError
+
+    def __len__(self):
+        return self.written - self.consumed
+
+
+class VanillaRingCQ(CompletionQueueBase):
+    """Classic MPSC ring buffer: 5 host-memory ops plus a fence per write."""
+
+    variant = "vanilla"
+    HOST_MEMORY_OPS = 5
+
+    def __init__(self, capacity=1024):
+        super().__init__(capacity)
+        self._slots = [None] * capacity
+        self._head = 0
+        self._tail = 0
+
+    def write_cost_us(self, config):
+        return (
+            self.HOST_MEMORY_OPS * config.host_memory_op_cost_us
+            + config.memory_fence_cost_us
+        )
+
+    def writable(self):
+        return (self._tail - self._head) < self.capacity
+
+    def push(self, cqe):
+        if not self.writable():
+            raise QueueFullError("completion queue is full")
+        self._slots[self._tail % self.capacity] = cqe
+        self._tail += 1
+        self.written += 1
+        return cqe
+
+    def pop(self):
+        if self._head >= self._tail:
+            raise QueueEmptyError("completion queue is empty")
+        cqe = self._slots[self._head % self.capacity]
+        self._slots[self._head % self.capacity] = None
+        self._head += 1
+        self.consumed += 1
+        return cqe
+
+
+class OptimizedRingCQ(VanillaRingCQ):
+    """Ring buffer with the CQE and tail packed into one 64-bit atomic write.
+
+    Exactly four host-memory operations and no fence are needed (Sec. 5); the
+    poller validates a CQE by comparing the head with the tail embedded in the
+    64-bit word, which we model by storing ``(cqe, tail)`` tuples.
+    """
+
+    variant = "optimized-ring"
+    HOST_MEMORY_OPS = 4
+
+    def write_cost_us(self, config):
+        return self.HOST_MEMORY_OPS * config.host_memory_op_cost_us
+
+    def push(self, cqe):
+        if not self.writable():
+            raise QueueFullError("completion queue is full")
+        packed_tail = self._tail + 1
+        self._slots[self._tail % self.capacity] = (cqe, packed_tail)
+        self._tail = packed_tail
+        self.written += 1
+        return cqe
+
+    def pop(self):
+        if self._head >= self._tail:
+            raise QueueEmptyError("completion queue is empty")
+        packed = self._slots[self._head % self.capacity]
+        self._slots[self._head % self.capacity] = None
+        cqe, packed_tail = packed
+        if packed_tail <= self._head:
+            raise QueueEmptyError("stale CQE: packed tail does not validate")
+        self._head += 1
+        self.consumed += 1
+        return cqe
+
+
+class OptimizedCasCQ(CompletionQueueBase):
+    """Slot-array CQ: a single ``atomicCAS_system`` writes the collective ID.
+
+    The CQE only carries the completed collective's ID, so ring-buffer
+    ordering is unnecessary: a block CAS-writes into any writable slot; the
+    poller scans the array, consumes valid IDs and marks slots writable again.
+    """
+
+    variant = "optimized-cas"
+
+    def __init__(self, capacity=1024):
+        super().__init__(capacity)
+        self._slots = [None] * capacity
+        self._scan_pos = 0
+
+    def write_cost_us(self, config):
+        return config.cas_system_cost_us
+
+    def writable(self):
+        return any(slot is None for slot in self._slots)
+
+    def push(self, cqe):
+        for index in range(self.capacity):
+            if self._slots[index] is None:
+                self._slots[index] = cqe
+                self.written += 1
+                return cqe
+        raise QueueFullError("completion queue is full")
+
+    def pop(self):
+        for offset in range(self.capacity):
+            index = (self._scan_pos + offset) % self.capacity
+            if self._slots[index] is not None:
+                cqe = self._slots[index]
+                self._slots[index] = None
+                self._scan_pos = (index + 1) % self.capacity
+                self.consumed += 1
+                return cqe
+        raise QueueEmptyError("completion queue is empty")
+
+
+def make_completion_queue(variant, capacity=1024):
+    """Factory over the three CQ variants of Fig. 7(c)."""
+    if variant == "vanilla":
+        return VanillaRingCQ(capacity)
+    if variant == "optimized-ring":
+        return OptimizedRingCQ(capacity)
+    if variant == "optimized-cas":
+        return OptimizedCasCQ(capacity)
+    raise ValueError(f"unknown completion queue variant {variant!r}")

@@ -1,0 +1,174 @@
+"""Registered collectives and their invocations.
+
+``dfcclRegister*`` registers a collective once (its spec, device set and
+priority); ``dfcclRun*`` then invokes it repeatedly.  A
+:class:`RegisteredCollective` is the registration-time object shared by every
+participating rank; an :class:`Invocation` is one run of it, tracking per-rank
+executors, callbacks and completion.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.channels import Communicator
+from repro.collectives.primitives import PrimitiveExecutor
+from repro.collectives.sequences import generate_primitive_sequence
+from repro.common.errors import ConfigurationError, InvalidStateError
+from repro.ncclsim.kernels import grid_size_for
+
+
+class RegisteredCollective:
+    """A collective registered with DFCCL (one per ``collId``)."""
+
+    def __init__(self, coll_id, spec, devices, interconnect, config, priority=0,
+                 name=None, communicator=None):
+        spec.validate()
+        self.coll_id = coll_id
+        self.spec = spec
+        self.devices = list(devices)
+        self.priority = priority
+        self.config = config
+        self.name = name or f"dfccl-coll{coll_id}-{spec.kind.value}"
+        self.communicator = communicator or Communicator(
+            self.devices, interconnect, channel_capacity=config.channel_capacity
+        )
+        self.invocations = []
+        self.run_counts = {}
+
+    @property
+    def group_size(self):
+        return len(self.devices)
+
+    @property
+    def grid_size(self):
+        """Blocks the collective would need (drives the daemon's launch shape)."""
+        return grid_size_for(self.spec.nbytes)
+
+    @property
+    def block_size(self):
+        return 256 if self.spec.nbytes < (1 << 20) else 512
+
+    def group_rank_of_device(self, device):
+        try:
+            return self.devices.index(device)
+        except ValueError:
+            raise ConfigurationError(
+                f"device {device.name} does not participate in {self.name}"
+            ) from None
+
+    def make_executor(self, group_rank):
+        """Compile this collective's primitive sequence for one rank."""
+        sequence = generate_primitive_sequence(
+            self.spec.kind,
+            group_rank,
+            self.group_size,
+            self.spec.nbytes,
+            chunk_bytes=self.config.chunk_bytes,
+            root=self.spec.root,
+        )
+        return PrimitiveExecutor(
+            collective_id=self.coll_id,
+            group_rank=group_rank,
+            communicator=self.communicator,
+            primitives=sequence,
+            cost_model=self.config.cost_model,
+        )
+
+    def invocation(self, index):
+        """Return invocation ``index``, creating intermediate ones if needed."""
+        while len(self.invocations) <= index:
+            self.invocations.append(Invocation(self, len(self.invocations)))
+        return self.invocations[index]
+
+    def next_invocation_for_rank(self, group_rank):
+        """The invocation the next ``dfcclRun*`` call of this rank refers to."""
+        index = self.run_counts.get(group_rank, 0)
+        self.run_counts[group_rank] = index + 1
+        return self.invocation(index)
+
+    def __repr__(self):
+        return f"<RegisteredCollective {self.name} size={self.group_size} prio={self.priority}>"
+
+
+class Invocation:
+    """One run of a registered collective across all of its ranks."""
+
+    def __init__(self, coll, index):
+        self.coll = coll
+        self.index = index
+        self.invocation_id = coll.coll_id * 1_000_000 + index
+        self._executors = {}
+        self._callbacks = {}
+        self._submitted_ranks = set()
+        self._gpu_complete_ranks = set()
+        self._callback_fired_ranks = set()
+        self.submit_times = {}
+        self.complete_times = {}
+        self.context_switches = {}
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    def coll_id(self):
+        return self.coll.coll_id
+
+    @property
+    def group_size(self):
+        return self.coll.group_size
+
+    def completion_key(self, group_rank):
+        return ("dfccl-inv-done", self.invocation_id, group_rank)
+
+    # -- per-rank execution state ---------------------------------------------------
+
+    def executor_for(self, group_rank):
+        executor = self._executors.get(group_rank)
+        if executor is None:
+            executor = self.coll.make_executor(group_rank)
+            self._executors[group_rank] = executor
+        return executor
+
+    def set_callback(self, group_rank, callback):
+        self._callbacks[group_rank] = callback
+
+    def callback_for(self, group_rank):
+        return self._callbacks.get(group_rank)
+
+    # -- submission / completion tracking --------------------------------------------
+
+    def mark_submitted(self, group_rank, time_us):
+        if group_rank in self._submitted_ranks:
+            raise InvalidStateError(
+                f"invocation {self.invocation_id} submitted twice on rank {group_rank}"
+            )
+        self._submitted_ranks.add(group_rank)
+        self.submit_times[group_rank] = time_us
+
+    def mark_gpu_complete(self, group_rank, time_us):
+        if group_rank in self._gpu_complete_ranks:
+            raise InvalidStateError(
+                f"invocation {self.invocation_id} completed twice on rank {group_rank}"
+            )
+        self._gpu_complete_ranks.add(group_rank)
+        self.complete_times[group_rank] = time_us
+
+    def mark_callback_fired(self, group_rank):
+        self._callback_fired_ranks.add(group_rank)
+
+    def add_context_switch(self, group_rank, count=1):
+        self.context_switches[group_rank] = self.context_switches.get(group_rank, 0) + count
+
+    def is_gpu_complete(self, group_rank):
+        return group_rank in self._gpu_complete_ranks
+
+    def is_done(self, group_rank):
+        """True once the rank's callback has run (the user-visible completion)."""
+        return group_rank in self._callback_fired_ranks
+
+    def fully_complete(self):
+        return len(self._gpu_complete_ranks) == self.group_size
+
+    def __repr__(self):
+        return (
+            f"<Invocation coll={self.coll_id} #{self.index} "
+            f"complete={len(self._gpu_complete_ranks)}/{self.group_size}>"
+        )

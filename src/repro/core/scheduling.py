@@ -1,0 +1,210 @@
+"""Adaptive collective scheduling (Sec. 4.3, Algorithm 1).
+
+The *stickiness* of a collective — how willing the daemon kernel is to wait
+for its progress — is controlled by two cooperating policies:
+
+* the **ordering policy** decides when SQEs are fetched from the SQ and how
+  the task queue is ordered (FIFO by default, priority based when the user
+  assigned priorities);
+* the **spin-threshold policy** assigns each collective's primitives a spin
+  threshold: the adaptive policy gives the queue-front collective the largest
+  initial threshold, decays it with queue position, and boosts it after every
+  successful primitive, which makes all GPUs converge on executing the same
+  collective (decentralized dynamic gang-scheduling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskEntry:
+    """One collective in the daemon kernel's task queue."""
+
+    invocation: object
+    group_rank: int
+    executor: object
+    priority: int = 0
+    arrival_index: int = 0
+    spin_threshold: int = 0
+    spin_remaining: int = 0
+    #: Current spin quantum (polls burned per scheduling step); grows
+    #: exponentially while a primitive keeps failing so that short waits cost
+    #: little virtual time and long waits cost few simulation steps.
+    spin_quantum: int = 500
+    progressed_since_load: bool = False
+    context_switches: int = 0
+    spin_polls: int = 0
+
+    @property
+    def coll_id(self):
+        return self.invocation.coll_id
+
+    def reset_spin(self, threshold):
+        self.spin_threshold = int(threshold)
+        self.spin_remaining = int(threshold)
+        self.spin_quantum = 500
+
+    def boost_spin(self, factor, ceiling):
+        boosted = min(int(self.spin_threshold * factor), int(ceiling))
+        self.spin_threshold = max(self.spin_threshold, boosted)
+        self.spin_remaining = self.spin_threshold
+
+
+class TaskQueue:
+    """The daemon kernel's per-block task queue (held in shared memory)."""
+
+    def __init__(self):
+        self._entries = []
+        self.length_samples = []
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, index):
+        return self._entries[index]
+
+    def append(self, entry):
+        self._entries.append(entry)
+
+    def remove(self, entry):
+        self._entries.remove(entry)
+
+    def sort_by_priority(self):
+        """Stable sort: higher priority first, FIFO within a priority level."""
+        self._entries.sort(key=lambda entry: (-entry.priority, entry.arrival_index))
+
+    def entries(self):
+        return list(self._entries)
+
+    def record_length(self, coll_id):
+        """Sample the queue length right after an SQE is read (Fig. 11)."""
+        self.length_samples.append((coll_id, len(self._entries)))
+
+
+class FifoOrderingPolicy:
+    """Default ordering: empty the task queue quickly.
+
+    SQEs are fetched when the task queue is empty or when a whole pass over
+    the queue made no progress; new collectives are appended at the end.
+    """
+
+    name = "fifo"
+
+    def should_fetch(self, queue_empty, pass_made_progress, at_pass_start):
+        return queue_empty or (at_pass_start and not pass_made_progress)
+
+    def order(self, task_queue):
+        return None  # FIFO keeps arrival order.
+
+
+class PriorityOrderingPolicy:
+    """Priority ordering: check the SQ frequently, keep the queue sorted."""
+
+    name = "priority"
+
+    def should_fetch(self, queue_empty, pass_made_progress, at_pass_start):
+        return queue_empty or at_pass_start
+
+    def order(self, task_queue):
+        task_queue.sort_by_priority()
+
+
+class NaiveSpinPolicy:
+    """Fixed spin threshold for every collective (the Fig. 11 'spike' baseline)."""
+
+    name = "naive"
+
+    def __init__(self, threshold=10_000):
+        self.threshold = threshold
+
+    def assign_initial(self, task_queue):
+        for entry in task_queue:
+            entry.reset_spin(self.threshold)
+
+    def on_success(self, entry):
+        entry.spin_remaining = entry.spin_threshold
+
+
+class AdaptiveSpinPolicy:
+    """The adaptive stickiness adjustment of Sec. 4.3.
+
+    The front-of-queue collective gets the largest initial spin threshold and
+    each subsequent position a progressively lower one; after a successful
+    primitive the collective's threshold is multiplied by ``boost`` so that
+    all GPUs keep waiting for the collective that is actually making progress.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, initial=100_000, position_decay=0.5, minimum=2_000, boost=20.0):
+        self.initial = initial
+        self.position_decay = position_decay
+        self.minimum = minimum
+        self.boost = boost
+
+    def initial_for_position(self, position):
+        threshold = self.initial * (self.position_decay ** position)
+        return int(max(self.minimum, threshold))
+
+    def assign_initial(self, task_queue):
+        for position, entry in enumerate(task_queue):
+            entry.reset_spin(self.initial_for_position(position))
+
+    def on_success(self, entry):
+        entry.boost_spin(self.boost, self.initial * self.boost)
+
+
+def make_ordering_policy(config):
+    if config.ordering == "priority":
+        return PriorityOrderingPolicy()
+    return FifoOrderingPolicy()
+
+
+def make_spin_policy(config):
+    if config.spin_policy == "naive":
+        return NaiveSpinPolicy(config.naive_spin_threshold)
+    return AdaptiveSpinPolicy(
+        initial=config.initial_spin_threshold,
+        position_decay=config.spin_position_decay,
+        minimum=config.min_spin_threshold,
+        boost=config.spin_success_boost,
+    )
+
+
+@dataclass
+class DaemonStats:
+    """Aggregated daemon-kernel statistics for one rank (Figs. 7 and 11)."""
+
+    launches: int = 0
+    voluntary_quits: int = 0
+    final_exits: int = 0
+    sqes_read: int = 0
+    cqes_written: int = 0
+    preemptions: int = 0
+    spin_polls: int = 0
+    primitives_executed: int = 0
+    sqe_read_time_us: float = 0.0
+    preparing_time_us: float = 0.0
+    cqe_write_time_us: float = 0.0
+    execute_time_us: float = 0.0
+    spin_time_us: float = 0.0
+    task_queue_length_samples: list = field(default_factory=list)
+    context_switches_per_invocation: dict = field(default_factory=dict)
+
+    def record_invocation_switches(self, invocation_id, count):
+        self.context_switches_per_invocation[invocation_id] = count
+
+    def mean_cqe_write_time_us(self):
+        if not self.cqes_written:
+            return 0.0
+        return self.cqe_write_time_us / self.cqes_written
+
+    def mean_sqe_read_time_us(self):
+        if not self.sqes_read:
+            return 0.0
+        return self.sqe_read_time_us / self.sqes_read

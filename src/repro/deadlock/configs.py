@@ -1,0 +1,163 @@
+"""Table 1 configurations of the deadlock study.
+
+Each :class:`Table1Config` captures one row of Table 1: the grouping policy,
+the decision model, the disorder / synchronization probabilities and the
+deadlock ratio the paper reports.  ``scaled()`` produces a reduced variant
+(fewer collectives per group, proportionally larger probabilities) so the
+study remains tractable on a laptop; the scaling keeps the *expected number*
+of disorder and synchronization events per round constant, which is the
+quantity the deadlock ratio is mainly driven by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.deadlock.grouping import FreeGroupingPolicy, ThreeDGroupingPolicy
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """One row of Table 1."""
+
+    name: str
+    model: str                    # "single-queue" | "synchronization"
+    grouping: str                 # "3d" | "free" | "free-paper"
+    disorder_prob: float
+    sync_prob: float
+    paper_ratio: float            # deadlock ratio reported in the paper (fraction)
+    # 3D grouping parameters.
+    tp: int = 0
+    dp: int = 0
+    pp: int = 0
+    tp_collectives: int = 0
+    dp_collectives: int = 0
+    # Free grouping parameters.
+    num_groups: int = 0
+    num_gpus: int = 0
+    collectives_small: int = 0
+    collectives_large: int = 0
+    extra_gpus_per_group: int = 0
+
+    def build_policy(self):
+        """Instantiate the grouping policy for this configuration."""
+        if self.grouping == "3d":
+            return ThreeDGroupingPolicy(
+                self.tp, self.dp, self.pp, self.tp_collectives, self.dp_collectives
+            )
+        if self.grouping == "free":
+            return FreeGroupingPolicy(
+                [(list(range(self.num_gpus)), self.collectives_small)]
+            )
+        if self.grouping == "free-paper":
+            return FreeGroupingPolicy.paper_case(
+                self.num_groups,
+                self.num_gpus,
+                self.collectives_small,
+                self.collectives_large,
+                extra_gpus_per_group=self.extra_gpus_per_group,
+            )
+        raise ValueError(f"unknown grouping {self.grouping!r}")
+
+    def scaled(self, collective_scale=1.0):
+        """Scale collective counts down and probabilities up by the same factor."""
+        if collective_scale >= 1.0:
+            return self
+        factor = collective_scale
+        boost = 1.0 / factor
+
+        def scale_count(count):
+            return max(4, int(round(count * factor)))
+
+        return replace(
+            self,
+            tp_collectives=scale_count(self.tp_collectives) if self.tp_collectives else 0,
+            dp_collectives=scale_count(self.dp_collectives) if self.dp_collectives else 0,
+            collectives_small=(
+                scale_count(self.collectives_small) if self.collectives_small else 0
+            ),
+            collectives_large=(
+                scale_count(self.collectives_large) if self.collectives_large else 0
+            ),
+            disorder_prob=min(1.0, self.disorder_prob * boost),
+            sync_prob=min(1.0, self.sync_prob * boost),
+        )
+
+
+def _three_d(name, model, tp, dp, pp, tp_coll, dp_coll, disorder, sync, ratio):
+    return Table1Config(
+        name=name, model=model, grouping="3d",
+        disorder_prob=disorder, sync_prob=sync, paper_ratio=ratio,
+        tp=tp, dp=dp, pp=pp, tp_collectives=tp_coll, dp_collectives=dp_coll,
+    )
+
+
+def _free_single_group(name, model, num_gpus, collectives, disorder, sync, ratio):
+    return Table1Config(
+        name=name, model=model, grouping="free",
+        disorder_prob=disorder, sync_prob=sync, paper_ratio=ratio,
+        num_groups=1, num_gpus=num_gpus, collectives_small=collectives,
+    )
+
+
+def _free_paper(name, model, num_gpus, coll_small, coll_large, disorder, sync, ratio,
+                extra=0):
+    return Table1Config(
+        name=name, model=model, grouping="free-paper",
+        disorder_prob=disorder, sync_prob=sync, paper_ratio=ratio,
+        num_groups=32, num_gpus=num_gpus,
+        collectives_small=coll_small, collectives_large=coll_large,
+        extra_gpus_per_group=extra,
+    )
+
+
+#: All rows of Table 1 (name → configuration).
+TABLE1_CONFIGS = {
+    # -- single-queue model, 3D grouping ------------------------------------------------
+    "sq-3d-444-1e-7": _three_d(
+        "sq-3d-444-1e-7", "single-queue", 4, 4, 4, 400, 1200, 1e-7, 0.0, 0.0110),
+    "sq-3d-444-1e-6": _three_d(
+        "sq-3d-444-1e-6", "single-queue", 4, 4, 4, 400, 1200, 1e-6, 0.0, 0.0997),
+    "sq-3d-8664-1e-9": _three_d(
+        "sq-3d-8664-1e-9", "single-queue", 8, 6, 64, 400, 1200, 1e-9, 0.0, 0.0047),
+    "sq-3d-8664-1e-8": _three_d(
+        "sq-3d-8664-1e-8", "single-queue", 8, 6, 64, 400, 1200, 1e-8, 0.0, 0.0359),
+    # -- single-queue model, free grouping ------------------------------------------------
+    "sq-free-1x8-1e-5": _free_single_group(
+        "sq-free-1x8-1e-5", "single-queue", 8, 161, 1e-5, 0.0, 0.0121),
+    "sq-free-32x64-1e-6": _free_paper(
+        "sq-free-32x64-1e-6", "single-queue", 64, 400, 1200, 1e-6, 0.0, 0.0098),
+    "sq-free-32x64-1e-5": _free_paper(
+        "sq-free-32x64-1e-5", "single-queue", 64, 400, 1200, 1e-5, 0.0, 0.0945),
+    "sq-free-32x128-1e-6": _free_paper(
+        "sq-free-32x128-1e-6", "single-queue", 128, 400, 1200, 1e-6, 0.0, 0.0172,
+        extra=2),
+    # -- synchronization model, 3D grouping ---------------------------------------------------
+    "sync-3d-444-2e-3-4e-3": _three_d(
+        "sync-3d-444-2e-3-4e-3", "synchronization", 4, 4, 4, 400, 1200, 2e-3, 4e-3, 0.0068),
+    "sync-3d-444-4e-3-4e-3": _three_d(
+        "sync-3d-444-4e-3-4e-3", "synchronization", 4, 4, 4, 400, 1200, 4e-3, 4e-3, 0.0138),
+    "sync-3d-444-4e-3-2e-3": _three_d(
+        "sync-3d-444-4e-3-2e-3", "synchronization", 4, 4, 4, 400, 1200, 4e-3, 2e-3, 0.0032),
+    "sync-3d-444-large": _three_d(
+        "sync-3d-444-large", "synchronization", 4, 4, 4, 800, 2400, 4e-3, 4e-3, 0.0256),
+    "sync-3d-8664-8e-4": _three_d(
+        "sync-3d-8664-8e-4", "synchronization", 8, 6, 64, 400, 1200, 8e-4, 8e-4, 0.0156),
+    # -- synchronization model, free grouping ----------------------------------------------------
+    "sync-free-32x64-4e-6-4e-5": _free_paper(
+        "sync-free-32x64-4e-6-4e-5", "synchronization", 64, 400, 1200, 4e-6, 4e-5, 0.0081),
+    "sync-free-32x64-4e-5-4e-5": _free_paper(
+        "sync-free-32x64-4e-5-4e-5", "synchronization", 64, 400, 1200, 4e-5, 4e-5, 0.0116),
+    "sync-free-32x64-4e-5-8e-5": _free_paper(
+        "sync-free-32x64-4e-5-8e-5", "synchronization", 64, 400, 1200, 4e-5, 8e-5, 0.0656),
+    "sync-free-32x64-large": _free_paper(
+        "sync-free-32x64-large", "synchronization", 64, 800, 2400, 4e-5, 4e-5, 0.0694),
+    "sync-free-32x128-4e-5": _free_paper(
+        "sync-free-32x128-4e-5", "synchronization", 128, 400, 1200, 4e-5, 4e-5, 0.0234,
+        extra=2),
+}
+
+
+def table1_rows():
+    """Rows in the order they appear in the paper's Table 1."""
+    return list(TABLE1_CONFIGS.values())

@@ -1,0 +1,97 @@
+"""Deadlock decision models (Sec. 2.4.1).
+
+Both models share the same collective state machine (*invoked → executing →
+successful*, success when executing on every GPU of the group) and the same
+dependency graph; they differ in when an invoked collective may start
+executing on a GPU:
+
+* **Single-queue model** — a collective starts executing only when no earlier
+  collective on that GPU is still invoked or executing; each GPU runs at most
+  one collective at a time.
+* **Synchronization model** — a GPU may execute any number of collectives
+  concurrently (idealized infinite resources), but it randomly issues
+  synchronization operations; while suspended by a synchronization, newly
+  invoked collectives cannot start executing until every collective that was
+  executing before the synchronization has become successful.
+"""
+
+from __future__ import annotations
+
+
+class _BaseModel:
+    """Shared helpers for the two decision models."""
+
+    name = "base"
+
+    def on_invoke(self, state, gpu, coll_id):
+        """A GPU invoked a collective; decide whether it starts executing."""
+        raise NotImplementedError
+
+    def on_sync(self, state, gpu):
+        """A GPU issued a synchronization operation."""
+        raise NotImplementedError
+
+    def on_success(self, state, coll_id):
+        """A collective became successful; promote whatever can now execute."""
+        raise NotImplementedError
+
+
+class SingleQueueModel(_BaseModel):
+    """One executing collective per GPU, strict per-GPU FIFO order."""
+
+    name = "single-queue"
+
+    def on_invoke(self, state, gpu, coll_id):
+        state.mark_invoked(gpu, coll_id)
+        self._promote_head(state, gpu)
+
+    def on_sync(self, state, gpu):
+        # Synchronization adds nothing beyond FIFO order in this model: the
+        # single queue already serializes everything.
+        return None
+
+    def on_success(self, state, coll_id):
+        for gpu in state.group_gpus(coll_id):
+            self._promote_head(state, gpu)
+
+    def _promote_head(self, state, gpu):
+        """Start executing the oldest pending collective if the GPU is free."""
+        if state.executing_count(gpu) > 0:
+            return
+        head = state.oldest_pending(gpu)
+        if head is not None:
+            state.mark_executing(gpu, head)
+
+
+class SynchronizationModel(_BaseModel):
+    """Unlimited concurrency, but GPU synchronization suspends the GPU."""
+
+    name = "synchronization"
+
+    def on_invoke(self, state, gpu, coll_id):
+        state.mark_invoked(gpu, coll_id)
+        if not state.is_suspended(gpu):
+            state.mark_executing(gpu, coll_id)
+
+    def on_sync(self, state, gpu):
+        executing = state.executing_collectives(gpu)
+        if executing:
+            state.suspend(gpu, executing)
+
+    def on_success(self, state, coll_id):
+        for gpu in state.group_gpus(coll_id):
+            if state.is_suspended(gpu):
+                if state.barrier_satisfied(gpu):
+                    state.resume(gpu)
+                    # Everything invoked while suspended may now execute.
+                    for pending in state.pending_collectives(gpu):
+                        state.mark_executing(gpu, pending)
+
+
+def make_model(name):
+    """Factory used by configuration files ("single-queue" / "synchronization")."""
+    if name in ("single-queue", "single_queue", "sq"):
+        return SingleQueueModel()
+    if name in ("synchronization", "sync"):
+        return SynchronizationModel()
+    raise ValueError(f"unknown deadlock decision model {name!r}")

@@ -1,0 +1,315 @@
+"""Round-based deadlock-ratio simulation (Sec. 2.4).
+
+A *round* synthesizes one event sequence per GPU (collective invocations plus,
+in the synchronization model, randomly inserted GPU synchronizations), then
+replays them under the chosen deadlock decision model until either every
+collective is successful or the system can make no further progress.  A stuck
+system is a deadlock; the dependency-graph cycle that causes it can be
+extracted for inspection.
+
+Disordered invocation is a *necessary* condition for a deadlock (Sec. 2.3), so
+rounds whose synthesized sequences contain no disorder are counted as
+deadlock-free without being replayed — this keeps the very low-probability
+configurations of Table 1 tractable without changing the estimate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.common.rng import DeterministicRNG
+from repro.deadlock.dependency_graph import DependencyGraph
+from repro.deadlock.grouping import GroupedWorkload
+from repro.deadlock.models import make_model
+
+INVOKED = "invoked"
+EXECUTING = "executing"
+SUCCESSFUL = "successful"
+
+
+@dataclass
+class _Event:
+    """One synthesized event: a collective invocation or a synchronization."""
+
+    kind: str                 # "invoke" | "sync"
+    coll_id: tuple = None
+
+
+class SimulationState:
+    """Collective states, per-GPU queues, suspension state and the wait graph."""
+
+    def __init__(self, workload):
+        self.workload = workload
+        self.graph = DependencyGraph()
+        self.coll_state = defaultdict(dict)      # coll_id -> {gpu: state}
+        self.successful = set()
+        self._executing_by_gpu = {gpu: [] for gpu in range(workload.num_gpus)}
+        self._pending_by_gpu = {gpu: [] for gpu in range(workload.num_gpus)}
+        self._suspended = {}                      # gpu -> barrier set of coll_ids
+        self._group_sizes = {
+            group.group_id: len(group.gpus) for group in workload.groups
+        }
+        self.total_collectives = sum(
+            group.num_collectives for group in workload.groups
+        )
+
+    # -- lookups -------------------------------------------------------------------
+
+    def group_gpus(self, coll_id):
+        return self.workload.groups[coll_id[0]].gpus
+
+    def group_size(self, coll_id):
+        return self._group_sizes[coll_id[0]]
+
+    def executing_count(self, gpu):
+        return len(self._executing_by_gpu[gpu])
+
+    def executing_collectives(self, gpu):
+        return list(self._executing_by_gpu[gpu])
+
+    def pending_collectives(self, gpu):
+        return list(self._pending_by_gpu[gpu])
+
+    def oldest_pending(self, gpu):
+        pending = self._pending_by_gpu[gpu]
+        return pending[0] if pending else None
+
+    def is_suspended(self, gpu):
+        return gpu in self._suspended
+
+    def all_successful(self):
+        return len(self.successful) >= self.total_collectives
+
+    # -- state transitions -----------------------------------------------------------
+
+    def mark_invoked(self, gpu, coll_id):
+        self.coll_state[coll_id][gpu] = INVOKED
+        self._pending_by_gpu[gpu].append(coll_id)
+        node = (coll_id, gpu)
+        # Edge type 2: the invoked part waits for everything executing on this GPU.
+        for executing in self._executing_by_gpu[gpu]:
+            self.graph.add_edge(node, (executing, gpu))
+        # Edge type 1: executing counterparts on other GPUs wait for this part.
+        for other_gpu, state in self.coll_state[coll_id].items():
+            if other_gpu != gpu and state == EXECUTING:
+                self.graph.add_edge((coll_id, other_gpu), node)
+
+    def mark_executing(self, gpu, coll_id):
+        if self.coll_state[coll_id].get(gpu) != INVOKED:
+            raise SimulationError(
+                f"collective {coll_id} on GPU {gpu} must be invoked before executing"
+            )
+        self.coll_state[coll_id][gpu] = EXECUTING
+        self._pending_by_gpu[gpu].remove(coll_id)
+        self._executing_by_gpu[gpu].append(coll_id)
+        node = (coll_id, gpu)
+        # It no longer waits for this GPU's executing collectives.
+        self.graph.remove_node(node)
+        # Other invoked parts on this GPU now wait for it (edge type 2)...
+        for pending in self._pending_by_gpu[gpu]:
+            self.graph.add_edge((pending, gpu), node)
+        # ...and it waits for its invoked counterparts elsewhere (edge type 1),
+        # while executing counterparts elsewhere stop waiting for nothing new.
+        for other_gpu, state in self.coll_state[coll_id].items():
+            if other_gpu == gpu:
+                continue
+            if state == INVOKED:
+                self.graph.add_edge(node, (coll_id, other_gpu))
+        self._maybe_successful(coll_id)
+
+    def _maybe_successful(self, coll_id):
+        states = self.coll_state[coll_id]
+        if len(states) < self.group_size(coll_id):
+            return False
+        if any(state != EXECUTING for state in states.values()):
+            return False
+        self._mark_successful(coll_id)
+        return True
+
+    def _mark_successful(self, coll_id):
+        self.successful.add(coll_id)
+        for gpu, state in list(self.coll_state[coll_id].items()):
+            self.coll_state[coll_id][gpu] = SUCCESSFUL
+            if coll_id in self._executing_by_gpu[gpu]:
+                self._executing_by_gpu[gpu].remove(coll_id)
+            self.graph.remove_node((coll_id, gpu))
+        self._on_success_hooks(coll_id)
+
+    def _on_success_hooks(self, coll_id):
+        # Filled in by the simulator so that the model can react to successes.
+        if getattr(self, "model", None) is not None:
+            self.model.on_success(self, coll_id)
+
+    # -- synchronization (sync model) ----------------------------------------------------
+
+    def suspend(self, gpu, barrier_collectives):
+        self._suspended[gpu] = set(barrier_collectives)
+
+    def barrier_satisfied(self, gpu):
+        barrier = self._suspended.get(gpu, set())
+        return all(coll_id in self.successful for coll_id in barrier)
+
+    def resume(self, gpu):
+        self._suspended.pop(gpu, None)
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one simulated round."""
+
+    deadlocked: bool
+    events_processed: int = 0
+    disorder_events: int = 0
+    sync_events: int = 0
+    cycle: list = None
+    skipped: bool = False
+
+
+@dataclass
+class DeadlockEstimate:
+    """Deadlock ratio over many rounds plus bookkeeping."""
+
+    rounds: int
+    deadlocks: int
+    skipped_rounds: int
+    mean_disorder_events: float
+    mean_sync_events: float
+
+    @property
+    def ratio(self):
+        return self.deadlocks / self.rounds if self.rounds else 0.0
+
+
+class DeadlockSimulator:
+    """Replays synthesized per-GPU event sequences under a decision model."""
+
+    def __init__(self, grouping_policy, model="single-queue",
+                 disorder_prob=0.0, sync_prob=0.0, seed=0):
+        self.workload = GroupedWorkload.from_policy(grouping_policy)
+        self.model_name = model if isinstance(model, str) else model.name
+        self.disorder_prob = disorder_prob
+        self.sync_prob = sync_prob
+        self.rng = DeterministicRNG(seed)
+
+    # -- event synthesis -----------------------------------------------------------------
+
+    def _nominal_order(self, gpu):
+        """The consistent invocation order every GPU would use without disorder."""
+        return sorted(self.workload.per_gpu_collectives[gpu],
+                      key=lambda coll_id: (coll_id[1], coll_id[0]))
+
+    #: When a collective invocation is disordered it is delayed by up to this
+    #: many later invocation slots (the application invoked other, independent
+    #: collectives first).
+    DISORDER_WINDOW = 32
+
+    def synthesize_events(self, round_index):
+        """Build per-GPU event lists; returns (events, disorder_count, sync_count)."""
+        rng = self.rng.child("round", round_index)
+        events = {}
+        disorder_count = 0
+        sync_count = 0
+        use_sync = self.model_name.startswith("sync")
+        for gpu in range(self.workload.num_gpus):
+            order = list(self._nominal_order(gpu))
+            gpu_rng = rng.child("gpu", gpu)
+            # Disorder: a collective is displaced to a random later slot within
+            # the disorder window, modelling an application that invoked other,
+            # data-independent collectives first.
+            index = 0
+            while index < len(order) - 1:
+                if gpu_rng.bernoulli(self.disorder_prob):
+                    window = min(self.DISORDER_WINDOW, len(order) - 1 - index)
+                    target = index + gpu_rng.randint(1, window)
+                    moved = order.pop(index)
+                    order.insert(target, moved)
+                    disorder_count += 1
+                index += 1
+            sequence = []
+            for coll_id in order:
+                sequence.append(_Event("invoke", coll_id))
+                if use_sync and gpu_rng.bernoulli(self.sync_prob):
+                    sequence.append(_Event("sync"))
+                    sync_count += 1
+            events[gpu] = sequence
+        return events, disorder_count, sync_count
+
+    # -- round replay -------------------------------------------------------------------------
+
+    def run_round(self, round_index=0, skip_ordered_rounds=True):
+        events, disorder_count, sync_count = self.synthesize_events(round_index)
+        if skip_ordered_rounds and disorder_count == 0:
+            # Disordered invocation is a necessary condition for a deadlock.
+            return RoundResult(False, disorder_events=0, sync_events=sync_count,
+                               skipped=True)
+
+        state = SimulationState(self.workload)
+        model = make_model(self.model_name)
+        state.model = model
+
+        # GPUs submit their events in a randomized interleaving (real ranks are
+        # never in lockstep), one event per scheduling slot.  A GPU suspended
+        # by a synchronization still *invokes* later collectives (they stay in
+        # the invoked state, as in Fig. 2), it just cannot start executing
+        # them; an additional synchronization while suspended adds nothing.
+        cursors = {gpu: 0 for gpu in events}
+        replay_rng = self.rng.child("replay", round_index)
+        processed = 0
+        while True:
+            submitted_any = False
+            gpu_order = replay_rng.permutation(self.workload.num_gpus)
+            for gpu in gpu_order:
+                sequence = events[gpu]
+                cursor = cursors[gpu]
+                if cursor >= len(sequence):
+                    continue
+                event = sequence[cursor]
+                cursors[gpu] = cursor + 1
+                processed += 1
+                submitted_any = True
+                if event.kind == "invoke":
+                    model.on_invoke(state, gpu, event.coll_id)
+                elif not state.is_suspended(gpu):
+                    model.on_sync(state, gpu)
+            if state.all_successful():
+                return RoundResult(False, processed, disorder_count, sync_count)
+            if not submitted_any:
+                cycle = state.graph.find_cycle()
+                return RoundResult(True, processed, disorder_count, sync_count,
+                                   cycle=cycle)
+
+    def estimate(self, rounds, skip_ordered_rounds=True, progress=None):
+        """Estimate the deadlock ratio over ``rounds`` independent rounds."""
+        deadlocks = 0
+        skipped = 0
+        disorder_total = 0
+        sync_total = 0
+        for round_index in range(rounds):
+            result = self.run_round(round_index, skip_ordered_rounds)
+            if result.deadlocked:
+                deadlocks += 1
+            if result.skipped:
+                skipped += 1
+            disorder_total += result.disorder_events
+            sync_total += result.sync_events
+            if progress is not None:
+                progress(round_index, result)
+        return DeadlockEstimate(
+            rounds=rounds,
+            deadlocks=deadlocks,
+            skipped_rounds=skipped,
+            mean_disorder_events=disorder_total / max(1, rounds),
+            mean_sync_events=sync_total / max(1, rounds),
+        )
+
+
+def estimate_deadlock_ratio(grouping_policy, model, disorder_prob, sync_prob,
+                            rounds, seed=0):
+    """Convenience wrapper returning the deadlock ratio as a float."""
+    simulator = DeadlockSimulator(
+        grouping_policy, model=model, disorder_prob=disorder_prob,
+        sync_prob=sync_prob, seed=seed,
+    )
+    return simulator.estimate(rounds).ratio

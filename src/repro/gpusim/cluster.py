@@ -1,0 +1,170 @@
+"""Cluster construction: nodes, GPUs, interconnect, host threads.
+
+`build_cluster` assembles the two testbeds used throughout the paper's
+evaluation (the 3080ti-server and the 3090-server, each with eight GPUs split
+over two PIX domains, plus the four-server 32-GPU RDMA cluster of Fig. 8(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import DeviceId
+from repro.gpusim.device import GpuDevice
+from repro.gpusim.engine import Engine
+from repro.gpusim.host import HostProgram, HostThread
+from repro.gpusim.interconnect import Interconnect
+from repro.gpusim.memory import GpuMemoryModel, PinnedHostAllocator
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One server in the cluster."""
+
+    name: str
+    num_gpus: int = 8
+    gpu_memory_bytes: int = 12 << 30
+    max_resident_blocks: int = 32
+
+
+@dataclass
+class ClusterSpec:
+    """A whole cluster; order of ``nodes`` defines node indices."""
+
+    nodes: list = field(default_factory=list)
+    pix_group_size: int = 4
+
+    @property
+    def total_gpus(self):
+        return sum(node.num_gpus for node in self.nodes)
+
+
+#: Paper testbeds (Table 2).
+SERVER_3080TI = NodeSpec(name="3080ti-server", num_gpus=8, gpu_memory_bytes=12 << 30)
+SERVER_3090 = NodeSpec(name="3090-server", num_gpus=8, gpu_memory_bytes=24 << 30)
+
+
+def single_server_spec(kind="3090", num_gpus=8):
+    """Spec for one eight-GPU server of the given model."""
+    base = SERVER_3090 if kind == "3090" else SERVER_3080TI
+    return ClusterSpec(nodes=[NodeSpec(base.name, num_gpus, base.gpu_memory_bytes)])
+
+
+def dual_server_spec(kind="3090", num_gpus_per_node=8):
+    """Two identical servers connected by RDMA (Figs. 12(c,d), 13(b))."""
+    base = SERVER_3090 if kind == "3090" else SERVER_3080TI
+    return ClusterSpec(
+        nodes=[
+            NodeSpec(f"{base.name}-{i}", num_gpus_per_node, base.gpu_memory_bytes)
+            for i in range(2)
+        ]
+    )
+
+
+def mixed_32gpu_spec():
+    """The 2×3080ti + 2×3090 32-GPU cluster used for Fig. 8(c)."""
+    nodes = [NodeSpec(f"3080ti-server-{i}", 8, 12 << 30) for i in range(2)]
+    nodes += [NodeSpec(f"3090-server-{i}", 8, 24 << 30) for i in range(2)]
+    return ClusterSpec(nodes=nodes)
+
+
+class Cluster:
+    """A simulated multi-node GPU cluster plus its event engine."""
+
+    def __init__(self, spec, engine=None, max_resident_blocks=None):
+        if not spec.nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        self.spec = spec
+        self.engine = engine or Engine()
+        self.interconnect = Interconnect(pix_group_size=spec.pix_group_size)
+        self.devices = []
+        self._devices_by_id = {}
+        self._pinned = {}
+        self.hosts = {}
+
+        for node_index, node in enumerate(spec.nodes):
+            self._pinned[node_index] = PinnedHostAllocator()
+            for local_rank in range(node.num_gpus):
+                device_id = DeviceId(node=node_index, local_rank=local_rank)
+                device = GpuDevice(
+                    device_id,
+                    max_resident_blocks=(
+                        max_resident_blocks
+                        if max_resident_blocks is not None
+                        else node.max_resident_blocks
+                    ),
+                    memory=GpuMemoryModel(global_bytes=node.gpu_memory_bytes),
+                )
+                self.engine.add_actor(device)
+                self.devices.append(device)
+                self._devices_by_id[device_id] = device
+
+    # -- lookups --------------------------------------------------------------
+
+    @property
+    def world_size(self):
+        return len(self.devices)
+
+    def device(self, rank):
+        """Return the device with global rank ``rank`` (row-major over nodes)."""
+        return self.devices[rank]
+
+    def device_by_id(self, device_id):
+        return self._devices_by_id[device_id]
+
+    def rank_of(self, device):
+        return self.devices.index(device)
+
+    def pinned_allocator(self, node_index):
+        return self._pinned[node_index]
+
+    # -- host threads ----------------------------------------------------------
+
+    def add_host(self, rank, program=None, name=None):
+        """Create the host thread (rank process) driving GPU ``rank``."""
+        device = self.device(rank)
+        host_name = name or f"host-{rank}"
+        if host_name in self.hosts:
+            raise ConfigurationError(f"host {host_name} already exists")
+        host = HostThread(host_name, device, self, program=program)
+        self.hosts[host_name] = host
+        self.engine.add_actor(host)
+        return host
+
+    def add_hosts(self, programs):
+        """Create one host per rank from a list of programs (index = rank)."""
+        return [self.add_host(rank, program) for rank, program in enumerate(programs)]
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self, until_us=None):
+        """Run the engine; returns the final virtual time."""
+        return self.engine.run(until_us=until_us)
+
+
+def build_cluster(
+    topology="single-3090",
+    deadlock_mode="raise",
+    max_resident_blocks=None,
+    max_steps=50_000_000,
+):
+    """Build one of the named paper testbeds.
+
+    ``topology`` is one of ``single-3090``, ``single-3080ti``, ``dual-3090``,
+    ``mixed-32``; alternatively pass a :class:`ClusterSpec` directly.
+    """
+    if isinstance(topology, ClusterSpec):
+        spec = topology
+    elif topology == "single-3090":
+        spec = single_server_spec("3090")
+    elif topology == "single-3080ti":
+        spec = single_server_spec("3080ti")
+    elif topology == "dual-3090":
+        spec = dual_server_spec("3090")
+    elif topology == "mixed-32":
+        spec = mixed_32gpu_spec()
+    else:
+        raise ConfigurationError(f"unknown cluster topology {topology!r}")
+    engine = Engine(deadlock_mode=deadlock_mode, max_steps=max_steps)
+    return Cluster(spec, engine=engine, max_resident_blocks=max_resident_blocks)

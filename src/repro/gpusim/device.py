@@ -1,0 +1,273 @@
+"""The simulated GPU: block resources, streams, synchronization, kernel launch.
+
+A :class:`GpuDevice` is itself an engine actor.  Its step examines every
+stream, launching the head kernel whenever enough block slots are free and no
+earlier synchronization barrier is pending.  Resident kernels are actors of
+their own (subclasses of :class:`KernelActor`); when one completes the device
+reclaims its blocks, updates synchronization barriers and re-evaluates launch
+opportunities.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.common.errors import InvalidStateError
+from repro.gpusim.engine import Actor, StepResult
+from repro.gpusim.memory import GpuMemoryModel
+from repro.gpusim.stream import Stream, SyncBarrier
+
+
+class KernelActor(Actor):
+    """Base class for kernels resident on a simulated GPU.
+
+    Subclasses implement :meth:`run_step`, returning a :class:`StepResult`
+    exactly as a normal actor would; the base class handles residency
+    bookkeeping and completion notification.
+    """
+
+    def __init__(self, name, device, grid_size=1, block_size=256):
+        super().__init__(name)
+        self.device = device
+        self.grid_size = grid_size
+        self.block_size = block_size
+        self.launched = False
+        self.completed = False
+        self.launch_time_us = None
+        self.complete_time_us = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_launch(self, time_us):
+        """Called by the device when the kernel becomes resident."""
+        self.launched = True
+        self.launch_time_us = time_us
+        self.clock.advance_to(time_us)
+
+    def complete(self, detail="kernel complete"):
+        """Mark the kernel finished and notify the device.  Returns DONE."""
+        if self.completed:
+            raise InvalidStateError(f"kernel {self.name} completed twice")
+        self.completed = True
+        self.complete_time_us = self.now
+        self.device.on_kernel_complete(self)
+        return StepResult.done(detail)
+
+    def step(self):
+        if not self.launched:
+            raise InvalidStateError(f"kernel {self.name} stepped before launch")
+        return self.run_step()
+
+    def run_step(self):
+        raise NotImplementedError
+
+    @property
+    def completion_key(self):
+        return ("kernel-done", self.name)
+
+
+class SleepKernel(KernelActor):
+    """A kernel that occupies its blocks for a fixed duration (compute stand-in)."""
+
+    def __init__(self, name, device, duration_us, grid_size=1, block_size=256):
+        super().__init__(name, device, grid_size, block_size)
+        self.duration_us = duration_us
+        self._slept = False
+
+    def run_step(self):
+        if not self._slept:
+            self._slept = True
+            self.clock.advance(self.duration_us)
+            return StepResult.progress("compute")
+        return self.complete()
+
+
+class GpuDevice(Actor):
+    """One simulated GPU."""
+
+    #: The device's launch scheduler is a service actor: it idles blocked on
+    #: its work key and must not keep the simulation alive.
+    daemon = True
+
+    #: Host→device kernel launch overhead, charged on the device timeline.
+    LAUNCH_OVERHEAD_US = 4.0
+    #: Cost of one device-side scheduling pass.
+    SCHED_PASS_US = 0.2
+
+    def __init__(
+        self,
+        device_id,
+        max_resident_blocks=32,
+        memory=None,
+        launch_overhead_us=None,
+    ):
+        super().__init__(f"gpu-{device_id}")
+        self.device_id = device_id
+        self.max_resident_blocks = max_resident_blocks
+        self.free_blocks = max_resident_blocks
+        self.memory = memory or GpuMemoryModel()
+        self.launch_overhead_us = (
+            self.LAUNCH_OVERHEAD_US if launch_overhead_us is None else launch_overhead_us
+        )
+
+        self.streams = {}
+        self.default_stream = self.get_stream("default", is_default=True)
+        self.resident = set()
+        self.barriers = []
+        self._sequence = itertools.count()
+        self._barrier_ids = itertools.count()
+
+        # Statistics used by experiments.
+        self.launch_count = 0
+        self.sync_count = 0
+        self.kernel_complete_count = 0
+
+    # -- wait keys -----------------------------------------------------------
+
+    @property
+    def work_key(self):
+        """Signalled whenever the device may be able to launch something."""
+        return ("gpu-work", str(self.device_id))
+
+    @property
+    def idle_key(self):
+        """Signalled whenever the device becomes completely idle."""
+        return ("gpu-idle", str(self.device_id))
+
+    # -- streams --------------------------------------------------------------
+
+    def get_stream(self, name, is_default=False):
+        """Return (creating if needed) the stream called ``name``."""
+        stream = self.streams.get(name)
+        if stream is None:
+            stream = Stream(name, self, is_default=is_default)
+            self.streams[name] = stream
+        return stream
+
+    def next_sequence(self):
+        """Monotonic sequence number ordering enqueues and synchronizations."""
+        return next(self._sequence)
+
+    # -- host-visible operations ----------------------------------------------
+
+    def enqueue_kernel(self, kernel, stream_name="default", time_us=0.0):
+        """Enqueue ``kernel`` on a stream (host side of a kernel launch)."""
+        stream = self.get_stream(stream_name)
+        sequence = self.next_sequence()
+        item = stream.enqueue(kernel, sequence, time_us)
+        self._notify_work(time_us)
+        return item
+
+    def issue_sync(self, time_us, implicit=False):
+        """Issue a device synchronization (explicit or implicit).
+
+        Returns the :class:`SyncBarrier`; the caller blocks on its
+        ``wait_key`` until the barrier clears.
+        """
+        sequence = self.next_sequence()
+        outstanding = set(self.resident)
+        for stream in self.streams.values():
+            for item in stream.pending_items():
+                if item.sequence < sequence:
+                    outstanding.add(item.kernel)
+        barrier = SyncBarrier(
+            barrier_id=next(self._barrier_ids),
+            sequence=sequence,
+            issue_time_us=time_us,
+            outstanding=outstanding,
+            implicit=implicit,
+        )
+        self.sync_count += 1
+        if not barrier.outstanding:
+            barrier.cleared = True
+        else:
+            self.barriers.append(barrier)
+        self._notify_work(time_us)
+        return barrier
+
+    # -- device scheduling ----------------------------------------------------
+
+    def _earliest_pending_barrier_sequence(self):
+        pending = [barrier.sequence for barrier in self.barriers if not barrier.cleared]
+        return min(pending) if pending else None
+
+    def _launchable_item(self):
+        """Find a stream head that can launch now, or ``None``."""
+        barrier_seq = self._earliest_pending_barrier_sequence()
+        for stream in self.streams.values():
+            if stream.active:
+                # In-order stream semantics: earlier kernel still executing.
+                continue
+            item = stream.head()
+            if item is None:
+                continue
+            kernel = item.kernel
+            if barrier_seq is not None and item.sequence > barrier_seq:
+                continue
+            if kernel.grid_size > self.free_blocks:
+                continue
+            return stream, item
+        return None
+
+    def step(self):
+        launchable = self._launchable_item()
+        if launchable is None:
+            return StepResult.blocked([self.work_key], "no launchable kernel")
+        stream, item = launchable
+        stream.pop_head()
+        kernel = item.kernel
+        kernel.stream = stream
+        stream.active += 1
+        self.free_blocks -= kernel.grid_size
+        self.resident.add(kernel)
+        self.launch_count += 1
+        self.clock.advance(self.launch_overhead_us)
+        kernel.on_launch(self.now)
+        self.engine.add_actor(kernel)
+        self.clock.advance(self.SCHED_PASS_US)
+        return StepResult.progress(f"launched {kernel.name} on {stream.name}")
+
+    # -- completion handling --------------------------------------------------
+
+    def on_kernel_complete(self, kernel):
+        """Reclaim resources and update barriers when a kernel finishes."""
+        if kernel not in self.resident:
+            raise InvalidStateError(
+                f"kernel {kernel.name} completed but was not resident on {self.name}"
+            )
+        self.resident.discard(kernel)
+        self.free_blocks += kernel.grid_size
+        self.kernel_complete_count += 1
+        stream = getattr(kernel, "stream", None)
+        if stream is not None:
+            stream.active -= 1
+            stream.completed_count += 1
+
+        cleared = []
+        for barrier in self.barriers:
+            if not barrier.cleared and barrier.on_kernel_complete(kernel):
+                cleared.append(barrier)
+        self.barriers = [barrier for barrier in self.barriers if not barrier.cleared]
+
+        if self.engine is not None:
+            self.engine.signal(kernel.completion_key, kernel.now)
+            for barrier in cleared:
+                self.engine.signal(barrier.wait_key, kernel.now)
+            self.engine.signal(self.work_key, kernel.now)
+            if not self.resident and not self.has_pending_work():
+                self.engine.signal(self.idle_key, kernel.now)
+
+    def _notify_work(self, time_us):
+        if self.engine is not None:
+            self.engine.signal(self.work_key, time_us)
+
+    # -- introspection --------------------------------------------------------
+
+    def has_pending_work(self):
+        return any(stream.pending for stream in self.streams.values())
+
+    def is_idle(self):
+        return not self.resident and not self.has_pending_work()
+
+    def resident_kernel_names(self):
+        return sorted(kernel.name for kernel in self.resident)

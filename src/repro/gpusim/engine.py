@@ -1,0 +1,345 @@
+"""Conservative discrete-event engine with wait-for-graph deadlock detection.
+
+The engine owns a set of :class:`Actor` objects (GPUs, resident kernels, host
+threads, network pollers).  Each actor has a local :class:`VirtualClock`; the
+engine repeatedly steps the *runnable* actor with the smallest local time so
+that all clocks stay within one quantum of each other.
+
+An actor's ``step`` returns a :class:`StepResult`:
+
+``PROGRESS``
+    The actor did useful work and advanced its own clock.
+``BLOCKED``
+    The actor cannot proceed until one of the given *wait keys* is signalled
+    by another actor (e.g. "a kernel on GPU 3 completed", "connector 7 has
+    data").  Blocked actors are not stepped again until a signal arrives.
+``SLEEP``
+    The actor wants to be woken at an absolute virtual time (used for polling
+    threads and voluntary-quit timers).
+``DONE``
+    The actor finished and is removed from scheduling.
+
+When every live actor is blocked and none is sleeping, no signal can ever
+arrive: the system is deadlocked.  The engine then either raises
+:class:`DeadlockError` or records the deadlock and terminates, depending on
+``deadlock_mode``.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.common.vtime import VirtualClock
+
+
+class StepStatus(enum.Enum):
+    """Outcome of a single actor step."""
+
+    PROGRESS = "progress"
+    BLOCKED = "blocked"
+    SLEEP = "sleep"
+    DONE = "done"
+
+
+@dataclass
+class StepResult:
+    """Value returned by :meth:`Actor.step`."""
+
+    status: StepStatus
+    wait_keys: tuple = ()
+    wake_at: float = 0.0
+    detail: str = ""
+
+    @classmethod
+    def progress(cls, detail=""):
+        return cls(StepStatus.PROGRESS, detail=detail)
+
+    @classmethod
+    def blocked(cls, wait_keys, detail=""):
+        keys = tuple(wait_keys) if not isinstance(wait_keys, (str, tuple)) else wait_keys
+        if isinstance(keys, str):
+            keys = (keys,)
+        if not keys:
+            raise ValueError("a BLOCKED step must name at least one wait key")
+        return cls(StepStatus.BLOCKED, wait_keys=tuple(keys), detail=detail)
+
+    @classmethod
+    def sleep(cls, wake_at, detail=""):
+        return cls(StepStatus.SLEEP, wake_at=float(wake_at), detail=detail)
+
+    @classmethod
+    def done(cls, detail=""):
+        return cls(StepStatus.DONE, detail=detail)
+
+
+class Actor:
+    """Base class for anything the engine schedules.
+
+    ``daemon`` actors are service actors (GPU launch schedulers, completion
+    pollers): they never keep the simulation alive, and being blocked forever
+    is their normal idle state, so they are ignored by deadlock detection.
+    """
+
+    daemon = False
+
+    def __init__(self, name, start_time_us=0.0):
+        self.name = name
+        self.clock = VirtualClock(start_time_us)
+        self.engine = None
+        self.finished = False
+
+    @property
+    def now(self):
+        return self.clock.now
+
+    def step(self):
+        """Advance the actor by one quantum.  Subclasses must override."""
+        raise NotImplementedError
+
+    def on_registered(self, engine):
+        """Hook invoked when the actor joins an engine."""
+        self.engine = engine
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name} t={self.now:.2f}us>"
+
+
+@dataclass
+class DeadlockReport:
+    """Description of a detected deadlock."""
+
+    time_us: float
+    blocked_actors: list = field(default_factory=list)
+    wait_graph: dict = field(default_factory=dict)
+
+    def involved(self):
+        """Names of the actors that were blocked when the deadlock was found."""
+        return [actor.name for actor in self.blocked_actors]
+
+
+class Engine:
+    """Smallest-local-clock-first scheduler over a set of actors."""
+
+    def __init__(self, deadlock_mode="raise", max_steps=50_000_000, trace=None):
+        if deadlock_mode not in ("raise", "record"):
+            raise ValueError(f"unknown deadlock_mode {deadlock_mode!r}")
+        self.deadlock_mode = deadlock_mode
+        self.max_steps = max_steps
+        self.trace = trace
+        self._actors = []
+        self._ready = []
+        self._sleeping = []
+        self._blocked = {}
+        self._waiters = {}
+        self._counter = itertools.count()
+        self._steps = 0
+        self.deadlock_report = None
+        self._signal_log = []
+
+    # -- registration -------------------------------------------------------
+
+    def add_actor(self, actor):
+        """Register an actor and make it runnable."""
+        self._actors.append(actor)
+        actor.on_registered(self)
+        self._push_ready(actor)
+        return actor
+
+    def actors(self):
+        return list(self._actors)
+
+    # -- ready queue helpers -------------------------------------------------
+
+    def _push_ready(self, actor):
+        heapq.heappush(self._ready, (actor.now, next(self._counter), actor))
+
+    def _push_sleeping(self, actor, wake_at):
+        heapq.heappush(self._sleeping, (wake_at, next(self._counter), actor))
+
+    # -- signalling ----------------------------------------------------------
+
+    def signal(self, key, time_us=None):
+        """Wake every actor blocked on ``key``.
+
+        ``time_us`` is the virtual time at which the signalled condition became
+        true; woken actors have their clocks advanced to at least that time,
+        modelling the spin-wait they performed while blocked.
+        """
+        self._signal_log.append(key)
+        waiters = self._waiters.pop(key, None)
+        if not waiters:
+            return 0
+        woken = 0
+        for actor in waiters:
+            keys = self._blocked.pop(actor, None)
+            if keys is None:
+                continue
+            for other in keys:
+                if other != key:
+                    group = self._waiters.get(other)
+                    if group is not None:
+                        group.discard(actor)
+                        if not group:
+                            self._waiters.pop(other, None)
+            if time_us is not None:
+                actor.clock.advance_to(time_us)
+            self._push_ready(actor)
+            woken += 1
+        return woken
+
+    def _block(self, actor, keys):
+        self._blocked[actor] = tuple(keys)
+        for key in keys:
+            self._waiters.setdefault(key, set()).add(actor)
+
+    # -- main loop -----------------------------------------------------------
+
+    @property
+    def now(self):
+        """Largest local time reached by any actor (the global horizon)."""
+        times = [actor.now for actor in self._actors]
+        return max(times) if times else 0.0
+
+    def _live_actors(self):
+        return [actor for actor in self._actors if not actor.finished]
+
+    def _live_workers(self):
+        """Live non-daemon actors; when none remain the simulation is over."""
+        return [
+            actor for actor in self._actors if not actor.finished and not actor.daemon
+        ]
+
+    def _wake_due_sleepers(self, horizon):
+        woken = False
+        while self._sleeping and self._sleeping[0][0] <= horizon:
+            wake_at, _, actor = heapq.heappop(self._sleeping)
+            if actor.finished:
+                continue
+            actor.clock.advance_to(wake_at)
+            self._push_ready(actor)
+            woken = True
+        return woken
+
+    def run(self, until_us=None):
+        """Run until no live actors remain, a deadline, or a deadlock.
+
+        Returns the final global virtual time.
+        """
+        while True:
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise SimulationError(
+                    f"engine exceeded {self.max_steps} steps; "
+                    "likely a livelock in a simulated component"
+                )
+
+            if until_us is not None and self.now >= until_us:
+                return self.now
+
+            actor = self._pop_runnable()
+            if actor is None:
+                if self._handle_stall():
+                    continue
+                return self.now
+
+            result = actor.step()
+            if self.trace is not None:
+                self.trace.append((actor.now, actor.name, result.status.value, result.detail))
+
+            if result.status is StepStatus.PROGRESS:
+                self._push_ready(actor)
+            elif result.status is StepStatus.BLOCKED:
+                self._block(actor, result.wait_keys)
+            elif result.status is StepStatus.SLEEP:
+                self._push_sleeping(actor, max(result.wake_at, actor.now))
+            elif result.status is StepStatus.DONE:
+                actor.finished = True
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown step status {result.status}")
+
+    def _pop_runnable(self):
+        """Pop the next actor to step, respecting virtual-time causality.
+
+        Sleeping actors are merged with the ready queue by timestamp: a
+        sleeper whose wake time precedes the earliest ready actor's clock is
+        woken first, so no actor ever observes state produced "in its future".
+        """
+        while True:
+            # Drop stale ready entries.
+            while self._ready and (
+                self._ready[0][2].finished or self._ready[0][2] in self._blocked
+            ):
+                heapq.heappop(self._ready)
+            while self._sleeping and self._sleeping[0][2].finished:
+                heapq.heappop(self._sleeping)
+
+            next_ready_time = self._ready[0][0] if self._ready else None
+            next_wake_time = self._sleeping[0][0] if self._sleeping else None
+
+            if next_wake_time is not None and (
+                next_ready_time is None or next_wake_time <= next_ready_time
+            ):
+                if next_ready_time is None and next_wake_time is not None \
+                        and not self._ready and not self._live_workers():
+                    # Only daemon sleepers remain; let the caller finish.
+                    return None
+                wake_at, _, actor = heapq.heappop(self._sleeping)
+                actor.clock.advance_to(wake_at)
+                self._push_ready(actor)
+                continue
+
+            if self._ready:
+                _, _, actor = heapq.heappop(self._ready)
+                return actor
+            return None
+
+    def _handle_stall(self):
+        """Called when the ready queue is empty.
+
+        Returns ``True`` when progress is still possible (a sleeper was woken),
+        ``False`` when the simulation has genuinely finished, and raises or
+        records a deadlock when live actors remain but none can ever run.
+        """
+        workers = self._live_workers()
+        if not workers:
+            return False
+
+        if self._sleeping:
+            # Jump virtual time forward to the earliest sleeper.
+            wake_at = self._sleeping[0][0]
+            self._wake_due_sleepers(wake_at)
+            return True
+
+        blocked = [actor for actor in workers if actor in self._blocked]
+        if blocked:
+            report = DeadlockReport(
+                time_us=self.now,
+                blocked_actors=blocked,
+                wait_graph={actor.name: list(self._blocked[actor]) for actor in blocked},
+            )
+            self.deadlock_report = report
+            if self.deadlock_mode == "raise":
+                raise DeadlockError(
+                    f"deadlock at t={self.now:.2f}us: "
+                    f"{len(blocked)} actors blocked with no possible signal",
+                    wait_graph=report.wait_graph,
+                    blocked=report.involved(),
+                )
+            return False
+
+        # Live actors exist but none is ready, blocked or sleeping: they were
+        # all left unscheduled, which indicates an engine bug.
+        raise SimulationError("live actors exist but none is schedulable")
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def step_count(self):
+        return self._steps
+
+    def blocked_actor_names(self):
+        return [actor.name for actor in self._blocked]

@@ -1,0 +1,89 @@
+"""Interconnect topology and transfer cost model.
+
+The paper's testbeds place GPUs 0-3 and 4-7 of each server in two separate PIX
+domains connected through the SYS domain, and connect servers with 56 Gb/s
+RDMA.  We model every GPU pair with an alpha/beta link (latency + bandwidth)
+selected from the topology, which is sufficient to reproduce the shape of the
+bandwidth/latency curves in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import DeviceId, LinkType
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link with explicit alpha/beta parameters."""
+
+    link_type: LinkType
+    alpha_us: float
+    beta_gbps: float
+
+    @classmethod
+    def of(cls, link_type, alpha_us=None, beta_gbps=None):
+        return cls(
+            link_type=link_type,
+            alpha_us=link_type.alpha_us if alpha_us is None else alpha_us,
+            beta_gbps=link_type.beta_gbps if beta_gbps is None else beta_gbps,
+        )
+
+    def transfer_time_us(self, nbytes):
+        """Alpha/beta cost of moving ``nbytes`` across this link."""
+        if nbytes <= 0:
+            return self.alpha_us
+        return self.alpha_us + nbytes / (self.beta_gbps * 1e3)
+
+
+class Interconnect:
+    """Resolves the link connecting any two simulated GPUs."""
+
+    def __init__(self, pix_group_size=4, overrides=None):
+        self.pix_group_size = pix_group_size
+        self._overrides = dict(overrides or {})
+
+    def override(self, device_a, device_b, spec):
+        """Force a specific link between two devices (both directions)."""
+        self._overrides[self._key(device_a, device_b)] = spec
+
+    @staticmethod
+    def _key(device_a, device_b):
+        a = (device_a.node, device_a.local_rank)
+        b = (device_b.node, device_b.local_rank)
+        return (a, b) if a <= b else (b, a)
+
+    def link(self, device_a, device_b):
+        """Return the :class:`LinkSpec` connecting ``device_a`` and ``device_b``."""
+        if not isinstance(device_a, DeviceId) or not isinstance(device_b, DeviceId):
+            raise TypeError("link() expects DeviceId arguments")
+        key = self._key(device_a, device_b)
+        if key in self._overrides:
+            return self._overrides[key]
+        if device_a == device_b:
+            return LinkSpec.of(LinkType.LOOPBACK)
+        if device_a.node != device_b.node:
+            return LinkSpec.of(LinkType.RDMA)
+        same_pix = (
+            device_a.local_rank // self.pix_group_size
+            == device_b.local_rank // self.pix_group_size
+        )
+        if same_pix:
+            return LinkSpec.of(LinkType.SHM_PIX)
+        return LinkSpec.of(LinkType.SHM_SYS)
+
+    def transfer_time_us(self, device_a, device_b, nbytes):
+        """Time to move ``nbytes`` between the two devices."""
+        return self.link(device_a, device_b).transfer_time_us(nbytes)
+
+    def bottleneck_beta_gbps(self, devices):
+        """Slowest link bandwidth among all pairs of ``devices`` (ring bound)."""
+        devices = list(devices)
+        if len(devices) < 2:
+            return LinkType.LOOPBACK.beta_gbps
+        betas = []
+        for i, dev_a in enumerate(devices):
+            for dev_b in devices[i + 1 :]:
+                betas.append(self.link(dev_a, dev_b).beta_gbps)
+        return min(betas)

@@ -1,0 +1,118 @@
+"""NCCL-style backend and communicator objects."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import CollectiveKind, CollectiveSpec, DataType, ReduceOp
+from repro.collectives.cost import DEFAULT_COST_MODEL
+from repro.ncclsim.kernels import NcclCollectiveKernel, grid_size_for
+from repro.ncclsim.ops import NcclCollectiveOp
+
+
+class NcclCommunicator:
+    """A communicator over a fixed set of global ranks.
+
+    Collectives may be created either by explicit id (``collective``), which
+    is what the deadlock test programs use, or positionally (``next_op``),
+    which mirrors NCCL's match-by-call-order semantics.
+    """
+
+    def __init__(self, backend, ranks, name=None):
+        self.backend = backend
+        self.ranks = list(ranks)
+        self.name = name or f"comm-{'-'.join(map(str, self.ranks))}"
+        self._ops_by_id = {}
+        self._call_order = []
+
+    @property
+    def size(self):
+        return len(self.ranks)
+
+    def group_rank(self, global_rank):
+        try:
+            return self.ranks.index(global_rank)
+        except ValueError:
+            raise ConfigurationError(
+                f"rank {global_rank} is not a member of communicator {self.name}"
+            ) from None
+
+    def collective(self, coll_id, spec, chunk_bytes=None, name=None):
+        """Return the shared op for ``coll_id``, creating it on first use."""
+        op = self._ops_by_id.get(coll_id)
+        if op is None:
+            devices = [self.backend.cluster.device(rank) for rank in self.ranks]
+            op = NcclCollectiveOp(
+                spec,
+                devices,
+                self.backend.cluster.interconnect,
+                cost_model=self.backend.cost_model,
+                chunk_bytes=chunk_bytes or self.backend.chunk_bytes,
+                name=name or f"{self.name}:coll{coll_id}",
+            )
+            self._ops_by_id[coll_id] = op
+            self._call_order.append(op)
+        return op
+
+    def ops(self):
+        return list(self._call_order)
+
+    # -- convenience spec builders --------------------------------------------
+
+    def all_reduce(self, coll_id, count, dtype=DataType.FLOAT32, op=ReduceOp.SUM):
+        return self.collective(
+            coll_id, CollectiveSpec(CollectiveKind.ALL_REDUCE, count, dtype, op)
+        )
+
+    def all_gather(self, coll_id, count, dtype=DataType.FLOAT32):
+        return self.collective(
+            coll_id, CollectiveSpec(CollectiveKind.ALL_GATHER, count, dtype)
+        )
+
+    def reduce_scatter(self, coll_id, count, dtype=DataType.FLOAT32, op=ReduceOp.SUM):
+        return self.collective(
+            coll_id, CollectiveSpec(CollectiveKind.REDUCE_SCATTER, count, dtype, op)
+        )
+
+    def broadcast(self, coll_id, count, dtype=DataType.FLOAT32, root=0):
+        return self.collective(
+            coll_id, CollectiveSpec(CollectiveKind.BROADCAST, count, dtype, root=root)
+        )
+
+    def reduce(self, coll_id, count, dtype=DataType.FLOAT32, op=ReduceOp.SUM, root=0):
+        return self.collective(
+            coll_id, CollectiveSpec(CollectiveKind.REDUCE, count, dtype, op, root=root)
+        )
+
+
+class NcclBackend:
+    """Factory of communicators and kernels over a simulated cluster."""
+
+    def __init__(self, cluster, cost_model=None, chunk_bytes=None):
+        self.cluster = cluster
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.chunk_bytes = chunk_bytes or (128 << 10)
+        self.communicators = []
+
+    def create_communicator(self, ranks=None, name=None):
+        """Create a communicator over ``ranks`` (defaults to every GPU)."""
+        if ranks is None:
+            ranks = list(range(self.cluster.world_size))
+        comm = NcclCommunicator(self, ranks, name=name)
+        self.communicators.append(comm)
+        return comm
+
+    def make_kernel(self, op, global_rank, host=None):
+        """Create the kernel for ``global_rank``'s part of ``op``."""
+        device = self.cluster.device(global_rank)
+        group_rank = op.devices.index(device)
+        executor = op.executor_for(group_rank)
+        kernel = NcclCollectiveKernel(
+            name=f"{op.name}-r{group_rank}",
+            device=device,
+            executor=executor,
+            op=op,
+            rank=group_rank,
+            grid_size=grid_size_for(op.spec.nbytes),
+        )
+        op.register_kernel(group_rank, kernel)
+        return kernel

@@ -1,0 +1,99 @@
+"""Collective operation instances shared by all participating ranks."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.collectives.channels import Communicator
+from repro.collectives.primitives import PrimitiveExecutor
+from repro.collectives.sequences import DEFAULT_CHUNK_BYTES, generate_primitive_sequence
+from repro.common.errors import InvalidStateError
+
+_op_ids = itertools.count()
+
+
+class NcclCollectiveOp:
+    """One collective call: a spec plus per-rank executors over shared channels.
+
+    The object is shared by every participating rank; each rank creates its
+    kernel from it.  Completion is tracked per rank so host threads can wait
+    on their local part (matching ``cudaStreamSynchronize`` semantics) and on
+    global completion.
+    """
+
+    def __init__(self, spec, devices, interconnect, cost_model=None,
+                 chunk_bytes=DEFAULT_CHUNK_BYTES, name=None):
+        spec.validate()
+        self.op_id = next(_op_ids)
+        self.name = name or f"nccl-op{self.op_id}-{spec.kind.value}"
+        self.spec = spec
+        self.devices = list(devices)
+        self.communicator = Communicator(self.devices, interconnect)
+        self.cost_model = cost_model
+        self.chunk_bytes = chunk_bytes
+        self._complete_ranks = {}
+        self._kernels = {}
+
+    @property
+    def group_size(self):
+        return len(self.devices)
+
+    def executor_for(self, group_rank):
+        """Build the primitive executor for one rank's part."""
+        sequence = generate_primitive_sequence(
+            self.spec.kind,
+            group_rank,
+            self.group_size,
+            self.spec.nbytes,
+            chunk_bytes=self.chunk_bytes,
+            root=self.spec.root,
+        )
+        return PrimitiveExecutor(
+            collective_id=self.op_id,
+            group_rank=group_rank,
+            communicator=self.communicator,
+            primitives=sequence,
+            cost_model=self.cost_model,
+        )
+
+    # -- completion tracking --------------------------------------------------
+
+    def completion_key(self, group_rank):
+        return ("nccl-op-done", self.op_id, group_rank)
+
+    @property
+    def global_completion_key(self):
+        return ("nccl-op-done-all", self.op_id)
+
+    def mark_rank_complete(self, group_rank, time_us, engine=None):
+        if group_rank in self._complete_ranks:
+            raise InvalidStateError(
+                f"rank {group_rank} completed op {self.op_id} twice"
+            )
+        self._complete_ranks[group_rank] = time_us
+        if engine is not None:
+            engine.signal(self.completion_key(group_rank), time_us)
+            if self.fully_complete():
+                engine.signal(self.global_completion_key, time_us)
+
+    def is_complete(self, group_rank):
+        return group_rank in self._complete_ranks
+
+    def fully_complete(self):
+        return len(self._complete_ranks) == self.group_size
+
+    def completion_time(self, group_rank=None):
+        if group_rank is not None:
+            return self._complete_ranks.get(group_rank)
+        if not self.fully_complete():
+            return None
+        return max(self._complete_ranks.values())
+
+    def register_kernel(self, group_rank, kernel):
+        self._kernels[group_rank] = kernel
+
+    def kernel(self, group_rank):
+        return self._kernels.get(group_rank)
+
+    def __repr__(self):
+        return f"<NcclCollectiveOp {self.name} size={self.group_size}>"

@@ -1,0 +1,32 @@
+"""Host-program helpers for driving the NCCL baseline."""
+
+from __future__ import annotations
+
+from repro.gpusim.host import LaunchKernel, WaitForSignal
+
+
+def launch_collective(backend, op, global_rank, stream="default"):
+    """Host op that launches ``global_rank``'s kernel for collective ``op``."""
+    return LaunchKernel(
+        lambda host: backend.make_kernel(op, global_rank, host), stream=stream
+    )
+
+
+def wait_collective(op, group_rank=None):
+    """Host op waiting for ``op`` to complete.
+
+    With ``group_rank`` it waits for that rank's part only (like
+    ``cudaStreamSynchronize`` on the collective's stream); without it the op
+    waits until every rank finished.
+    """
+    if group_rank is None:
+        return WaitForSignal(
+            op.global_completion_key,
+            predicate=op.fully_complete,
+            detail=f"wait {op.name} (all ranks)",
+        )
+    return WaitForSignal(
+        op.completion_key(group_rank),
+        predicate=lambda: op.is_complete(group_rank),
+        detail=f"wait {op.name} rank {group_rank}",
+    )

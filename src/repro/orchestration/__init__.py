@@ -1,0 +1,54 @@
+"""CPU-orchestration baselines (Sec. 2.5).
+
+Existing systems prevent circular collective dependency by forcing every GPU
+to invoke collectives in a consistent order, using extra CPU coordination:
+
+* **Horovod** — a dynamic central coordinator gathers readiness from every
+  rank each cycle and broadcasts the agreed execution order;
+* **BytePS** — centralized coordination among intra-node GPUs before invoking
+  collectives;
+* **KungFu** — the predominant calling order is negotiated during the first
+  training step, then decentralized schedulers enforce it;
+* **OneFlow** — the compiler statically sorts collectives by the task graph's
+  topological order, so no runtime negotiation is needed;
+* **Megatron-LM manual hardcoding** — engineers hand-arrange the collectives
+  of every group for 3D-hybrid parallelism.
+
+Each baseline exposes the enforced order plus the per-collective and per-step
+coordination overheads it adds, which is what differentiates their training
+throughput from DFCCL's in Figs. 10, 12 and 13.
+"""
+
+from repro.orchestration.base import Orchestrator, OrchestratorDecision
+from repro.orchestration.horovod import HorovodOrchestrator
+from repro.orchestration.byteps import BytePSOrchestrator
+from repro.orchestration.kungfu import KungFuOrchestrator
+from repro.orchestration.oneflow_static import OneFlowStaticSortOrchestrator
+from repro.orchestration.megatron_manual import MegatronManualOrchestrator
+
+__all__ = [
+    "BytePSOrchestrator",
+    "HorovodOrchestrator",
+    "KungFuOrchestrator",
+    "MegatronManualOrchestrator",
+    "OneFlowStaticSortOrchestrator",
+    "Orchestrator",
+    "OrchestratorDecision",
+]
+
+
+def make_orchestrator(name, **kwargs):
+    """Factory over the five baselines by name."""
+    registry = {
+        "horovod": HorovodOrchestrator,
+        "byteps": BytePSOrchestrator,
+        "kungfu": KungFuOrchestrator,
+        "oneflow": OneFlowStaticSortOrchestrator,
+        "oneflow-static": OneFlowStaticSortOrchestrator,
+        "megatron": MegatronManualOrchestrator,
+        "megatron-manual": MegatronManualOrchestrator,
+    }
+    try:
+        return registry[name](**kwargs)
+    except KeyError:
+        raise ValueError(f"unknown orchestrator {name!r}") from None

@@ -1,0 +1,68 @@
+"""Common interface of the CPU-orchestration baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OrchestratorDecision:
+    """The enforced consistent order plus the coordination cost of reaching it."""
+
+    order: list
+    per_collective_delay_us: float = 0.0
+    per_step_delay_us: float = 0.0
+    one_time_delay_us: float = 0.0
+    notes: str = ""
+
+
+class Orchestrator:
+    """Base class: derive the enforced order from the ranks' desired orders.
+
+    ``coordinate`` receives a mapping ``rank -> list of collective keys`` (the
+    order in which each rank *wants* to invoke its collectives during one
+    step) and returns an :class:`OrchestratorDecision` with a single order
+    that every rank will follow, plus the coordination overheads charged for
+    achieving it.
+    """
+
+    name = "base"
+    #: Whether the method can orchestrate 3D-hybrid (PP-containing) schedules.
+    supports_hybrid = False
+
+    def __init__(self, world_size=8, network_rtt_us=50.0):
+        self.world_size = world_size
+        self.network_rtt_us = network_rtt_us
+        self.steps_coordinated = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _common_order(per_rank_orders, reference_rank=None):
+        """A canonical order containing every key exactly once.
+
+        Keys are taken in the order of the reference rank (defaults to the
+        lowest rank), followed by keys only other ranks have, in rank order.
+        """
+        if not per_rank_orders:
+            return []
+        if reference_rank is None:
+            reference_rank = min(per_rank_orders)
+        seen = set()
+        order = []
+        for key in per_rank_orders[reference_rank]:
+            if key not in seen:
+                seen.add(key)
+                order.append(key)
+        for rank in sorted(per_rank_orders):
+            for key in per_rank_orders[rank]:
+                if key not in seen:
+                    seen.add(key)
+                    order.append(key)
+        return order
+
+    def coordinate(self, per_rank_orders, step_index=0):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} world={self.world_size}>"

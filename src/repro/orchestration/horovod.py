@@ -1,0 +1,48 @@
+"""Horovod-style dynamic centralized coordination.
+
+Horovod's background coordinator runs a negotiation cycle: every rank reports
+which tensors are ready, the coordinator intersects the readiness bitmaps and
+broadcasts the list of collectives that may start, in a globally consistent
+order.  A tensor therefore waits, on average, half a cycle before it can be
+negotiated, plus the gather/broadcast round trip — this is the coordination
+overhead that keeps Horovod's ResNet50 throughput ~20% below DFCCL's in
+Fig. 10.
+"""
+
+from __future__ import annotations
+
+from repro.orchestration.base import Orchestrator, OrchestratorDecision
+
+
+class HorovodOrchestrator(Orchestrator):
+    """Dynamic central coordinator (gather readiness, broadcast order)."""
+
+    name = "horovod"
+    supports_hybrid = False
+
+    #: Horovod's default coordination cycle time (5 ms).
+    CYCLE_TIME_US = 5_000.0
+    #: Collectives negotiated per cycle (response batching).  Gradient tensors
+    #: of ResNet-class models are typically announced one negotiation round
+    #: apart, so each pays roughly half a cycle of latency.
+    COLLECTIVES_PER_CYCLE = 1
+
+    def __init__(self, world_size=8, network_rtt_us=50.0, cycle_time_us=None):
+        super().__init__(world_size, network_rtt_us)
+        self.cycle_time_us = cycle_time_us or self.CYCLE_TIME_US
+
+    def coordinate(self, per_rank_orders, step_index=0):
+        self.steps_coordinated += 1
+        order = self._common_order(per_rank_orders)
+        # Each negotiation: wait for the next cycle boundary (half a cycle on
+        # average), then a gather from every rank and a broadcast back.
+        gather_broadcast = 2 * self.network_rtt_us + self.world_size * 2.0
+        per_collective = (
+            self.cycle_time_us / 2.0 + gather_broadcast
+        ) / self.COLLECTIVES_PER_CYCLE
+        return OrchestratorDecision(
+            order=order,
+            per_collective_delay_us=per_collective,
+            per_step_delay_us=self.cycle_time_us / 2.0,
+            notes="dynamic centralized coordination",
+        )

@@ -1,0 +1,60 @@
+"""KungFu-style first-step negotiation with decentralized enforcement.
+
+KungFu determines the predominant collective calling order during the first
+training step via gather and broadcast operations; afterwards decentralized
+schedulers on every rank enforce that order.  The one-time negotiation is
+expensive, the steady-state enforcement adds a small per-collective check, and
+collectives that arrive out of the negotiated order must wait for their turn.
+"""
+
+from __future__ import annotations
+
+from repro.orchestration.base import Orchestrator, OrchestratorDecision
+
+
+class KungFuOrchestrator(Orchestrator):
+    """Order negotiated in step 0, then enforced locally on every rank."""
+
+    name = "kungfu"
+    supports_hybrid = False
+
+    #: Per-collective cost of waiting for the decentralized schedulers to agree
+    #: that it is this collective's turn in the enforced order (us).
+    ENFORCEMENT_CHECK_US = 2_100.0
+    #: One-time negotiation cost per collective in the first step (us).
+    NEGOTIATION_PER_COLLECTIVE_US = 400.0
+
+    def __init__(self, world_size=8, network_rtt_us=50.0):
+        super().__init__(world_size, network_rtt_us)
+        self._negotiated_order = None
+
+    def coordinate(self, per_rank_orders, step_index=0):
+        self.steps_coordinated += 1
+        if self._negotiated_order is None:
+            # First step: gather every rank's order, pick the predominant one.
+            self._negotiated_order = self._common_order(per_rank_orders)
+            one_time = (
+                len(self._negotiated_order) * self.NEGOTIATION_PER_COLLECTIVE_US
+                + 2 * self.network_rtt_us * self.world_size
+            )
+            return OrchestratorDecision(
+                order=list(self._negotiated_order),
+                per_collective_delay_us=self.ENFORCEMENT_CHECK_US,
+                one_time_delay_us=one_time,
+                notes="first-step negotiation",
+            )
+        # Steady state: enforce the already-negotiated order.  Collectives not
+        # present in the negotiated order (e.g. newly appearing ones) are
+        # appended, mirroring KungFu's fallback behaviour.
+        order = list(self._negotiated_order)
+        known = set(order)
+        for rank in sorted(per_rank_orders):
+            for key in per_rank_orders[rank]:
+                if key not in known:
+                    known.add(key)
+                    order.append(key)
+        return OrchestratorDecision(
+            order=order,
+            per_collective_delay_us=self.ENFORCEMENT_CHECK_US,
+            notes="decentralized enforcement",
+        )

@@ -1,0 +1,164 @@
+"""Training backends: DFCCL, and NCCL under a CPU-orchestration baseline.
+
+A training backend turns one rank's iteration schedule (compute phases and
+collective items) into host ops for the simulated rank process.  The DFCCL
+backend registers every distinct collective once and then just submits
+invocations — in whatever order the schedule produces them.  The NCCL backend
+launches one dedicated kernel per collective call and charges the coordination
+overhead of the selected orchestration baseline.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.core import DfcclBackend
+from repro.gpusim.host import CpuCompute
+from repro.ncclsim import NcclBackend
+from repro.ncclsim.program import launch_collective, wait_collective
+from repro.workloads.parallelism import CollectiveItem, ComputeItem
+
+
+class DfcclTrainingBackend:
+    """Drive training collectives through DFCCL."""
+
+    name = "dfccl"
+
+    def __init__(self, cluster, config=None, shuffle_submissions=False, rng=None):
+        self.cluster = cluster
+        self.dfccl = DfcclBackend(cluster, config)
+        self.shuffle_submissions = shuffle_submissions
+        self.rng = rng
+        self._coll_ids = {}
+        self._next_coll_id = 0
+
+    def prepare(self, plan):
+        """Register every distinct collective of the plan exactly once."""
+        ranks = list(range(plan.base_rank, plan.base_rank + plan.world_size))
+        self.dfccl.init_all_ranks(ranks)
+        for key, item in sorted(plan.unique_collectives().items(), key=lambda kv: kv[0]):
+            coll_id = self._next_coll_id
+            self._next_coll_id += 1
+            self._coll_ids[key] = coll_id
+            self.dfccl.register_collective(
+                coll_id,
+                _spec_for(item),
+                ranks=list(item.group_ranks),
+                priority=item.priority,
+                name=f"{item.kind.value}:{key}",
+            )
+
+    def coll_id(self, key):
+        return self._coll_ids[key]
+
+    def iteration_ops(self, rank, schedule, iteration):
+        """Host ops executing one iteration of ``schedule`` on ``rank``."""
+        ops = []
+        handles = []
+        collective_items = [item for item in schedule if isinstance(item, CollectiveItem)]
+        submit_order = {item.key: index for index, item in enumerate(collective_items)}
+        if self.shuffle_submissions and self.rng is not None:
+            shuffled = self.rng.child("iter", iteration, rank).shuffle(list(collective_items))
+            submit_order = {item.key: index for index, item in enumerate(shuffled)}
+        for item in schedule:
+            if isinstance(item, ComputeItem):
+                ops.append(CpuCompute(item.duration_us, item.label))
+            elif isinstance(item, CollectiveItem):
+                handle = self.dfccl.submit(rank, self._coll_ids[item.key])
+                handles.append((submit_order[item.key], handle))
+                ops.append(handle.submit_op())
+            else:  # pragma: no cover - defensive
+                raise ConfigurationError(f"unknown schedule item {item!r}")
+        for _, handle in sorted(handles, key=lambda pair: pair[0]):
+            ops.append(handle.wait_op())
+        return ops
+
+    def finalize_ops(self, rank):
+        return [self.dfccl.destroy_op(rank)]
+
+    def stats(self, rank):
+        return self.dfccl.stats(rank)
+
+
+class NcclTrainingBackend:
+    """Drive training collectives through NCCL plus a CPU-orchestration baseline."""
+
+    def __init__(self, cluster, orchestrator, chunk_bytes=None):
+        self.cluster = cluster
+        self.orchestrator = orchestrator
+        self.nccl = NcclBackend(cluster, chunk_bytes=chunk_bytes)
+        self._comms = {}
+        self._decisions = {}
+        self._plan = None
+
+    @property
+    def name(self):
+        return f"nccl+{self.orchestrator.name}"
+
+    def prepare(self, plan):
+        self._plan = plan
+
+    def _comm_for(self, group_ranks):
+        comm = self._comms.get(group_ranks)
+        if comm is None:
+            comm = self.nccl.create_communicator(ranks=list(group_ranks))
+            self._comms[group_ranks] = comm
+        return comm
+
+    def _decision(self, iteration):
+        decision = self._decisions.get(iteration)
+        if decision is None:
+            per_rank_orders = {
+                rank: [item.key for item in self._plan.collective_items(rank)]
+                for rank in range(self._plan.base_rank,
+                                  self._plan.base_rank + self._plan.world_size)
+            }
+            decision = self.orchestrator.coordinate(per_rank_orders, step_index=iteration)
+            self._decisions[iteration] = decision
+        return decision
+
+    def iteration_ops(self, rank, schedule, iteration):
+        decision = self._decision(iteration)
+        ops = []
+        startup_delay = decision.per_step_delay_us
+        if iteration == 0:
+            startup_delay += decision.one_time_delay_us
+        if startup_delay > 0:
+            ops.append(CpuCompute(startup_delay, f"{self.orchestrator.name}-coordination"))
+
+        waits = []
+        for item in schedule:
+            if isinstance(item, ComputeItem):
+                ops.append(CpuCompute(item.duration_us, item.label))
+            elif isinstance(item, CollectiveItem):
+                if decision.per_collective_delay_us > 0:
+                    ops.append(CpuCompute(decision.per_collective_delay_us,
+                                          f"{self.orchestrator.name}-negotiate"))
+                comm = self._comm_for(item.group_ranks)
+                op = comm.collective((item.key, iteration), _spec_for(item))
+                group_rank = item.group_ranks.index(rank)
+                ops.append(launch_collective(self.nccl, op, rank, stream="comm"))
+                waits.append((op, group_rank))
+            else:  # pragma: no cover - defensive
+                raise ConfigurationError(f"unknown schedule item {item!r}")
+        for op, group_rank in waits:
+            ops.append(wait_collective(op, group_rank))
+        return ops
+
+    def finalize_ops(self, rank):
+        return []
+
+    def stats(self, rank):
+        return None
+
+
+def _spec_for(item):
+    """Translate a schedule collective item into a CollectiveSpec."""
+    from repro.common.types import CollectiveSpec
+
+    root = 0
+    return CollectiveSpec(
+        kind=item.kind,
+        count=max(1, item.count),
+        root=root,
+        priority=item.priority,
+    )

@@ -1,0 +1,213 @@
+"""Parallelism planning: per-rank, per-iteration schedules of compute and collectives.
+
+A :class:`ParallelPlan` maps a model onto a (tp, dp, pp) grid of ranks and
+generates, for every rank, the schedule of one training iteration: compute
+phases interleaved with the collective operations of that rank's TP group, DP
+group and PP neighbours.  Schedules use stable collective *keys* so that all
+ranks of a group generate exactly the same collectives — the invocation order,
+however, is up to the backend (DFCCL tolerates any order; NCCL baselines rely
+on the schedule being consistent plus their orchestration method).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import CollectiveKind
+
+
+@dataclass(frozen=True)
+class ComputeItem:
+    """A GPU/CPU compute phase of the given duration."""
+
+    duration_us: float
+    label: str = "compute"
+
+
+@dataclass(frozen=True)
+class CollectiveItem:
+    """One collective operation of the iteration schedule."""
+
+    key: tuple
+    kind: CollectiveKind
+    count: int
+    group_ranks: tuple
+    priority: int = 0
+
+    @property
+    def nbytes(self):
+        return self.count * 4
+
+
+class ParallelPlan:
+    """Maps a model onto tp × dp × pp ranks and emits per-rank schedules."""
+
+    def __init__(self, model, tp=1, dp=1, pp=1, microbatch_size=32, num_microbatches=1,
+                 grad_buckets=12, base_rank=0):
+        if tp < 1 or dp < 1 or pp < 1:
+            raise ConfigurationError("tp, dp and pp must all be at least 1")
+        self.model = model
+        self.tp = tp
+        self.dp = dp
+        self.pp = pp
+        self.microbatch_size = microbatch_size
+        self.num_microbatches = num_microbatches
+        self.grad_buckets = grad_buckets
+        self.base_rank = base_rank
+
+    # -- rank geometry ------------------------------------------------------------------
+
+    @property
+    def world_size(self):
+        return self.tp * self.dp * self.pp
+
+    @property
+    def global_batch_size(self):
+        return self.microbatch_size * self.num_microbatches * self.dp
+
+    def rank(self, pp_index, dp_index, tp_index):
+        return self.base_rank + (pp_index * self.dp + dp_index) * self.tp + tp_index
+
+    def coordinates(self, rank):
+        local = rank - self.base_rank
+        tp_index = local % self.tp
+        dp_index = (local // self.tp) % self.dp
+        pp_index = local // (self.tp * self.dp)
+        return pp_index, dp_index, tp_index
+
+    def tp_group(self, pp_index, dp_index):
+        return tuple(self.rank(pp_index, dp_index, t) for t in range(self.tp))
+
+    def dp_group(self, pp_index, tp_index):
+        return tuple(self.rank(pp_index, d, tp_index) for d in range(self.dp))
+
+    def stage_layers(self, pp_index):
+        """Contiguous slice of model layers owned by pipeline stage ``pp_index``."""
+        layers = self.model.layers
+        per_stage = max(1, math.ceil(len(layers) / self.pp))
+        start = pp_index * per_stage
+        return layers[start:start + per_stage]
+
+    # -- schedule generation ----------------------------------------------------------------
+
+    def iteration_schedule(self, rank):
+        """The schedule of one training iteration for ``rank``."""
+        pp_index, dp_index, tp_index = self.coordinates(rank)
+        stage = self.stage_layers(pp_index)
+        schedule = []
+
+        activation_count = max(
+            1, int(self.microbatch_size * max(layer.activation_count for layer in stage))
+        ) if stage else self.microbatch_size
+        activation_count = min(activation_count, 8 << 20)
+
+        for microbatch in range(self.num_microbatches):
+            # Receive activations from the previous pipeline stage.
+            if self.pp > 1 and pp_index > 0:
+                peer = self.rank(pp_index - 1, dp_index, tp_index)
+                schedule.append(CollectiveItem(
+                    key=("pp-fwd", pp_index, dp_index, tp_index, microbatch),
+                    kind=CollectiveKind.SEND_RECV,
+                    count=activation_count,
+                    group_ranks=(peer, rank),
+                ))
+            # Forward compute of this stage (divided across the TP group).
+            fwd = self.model.forward_time_us(self.microbatch_size, stage) / self.tp
+            schedule.append(ComputeItem(fwd, f"fwd-mb{microbatch}"))
+            # TP all-reduce of the stage output activations (forward).
+            if self.tp > 1:
+                schedule.append(CollectiveItem(
+                    key=("tp-fwd", pp_index, dp_index, microbatch),
+                    kind=CollectiveKind.ALL_REDUCE,
+                    count=min(activation_count, 4 << 20),
+                    group_ranks=self.tp_group(pp_index, dp_index),
+                ))
+            # Send activations to the next stage.
+            if self.pp > 1 and pp_index < self.pp - 1:
+                peer = self.rank(pp_index + 1, dp_index, tp_index)
+                schedule.append(CollectiveItem(
+                    key=("pp-fwd", pp_index + 1, dp_index, tp_index, microbatch),
+                    kind=CollectiveKind.SEND_RECV,
+                    count=activation_count,
+                    group_ranks=(rank, peer),
+                ))
+
+        for microbatch in range(self.num_microbatches):
+            # Backward pass with bucketed gradient all-reduces in the DP group.
+            buckets = _stage_buckets(self.model, stage, self.grad_buckets)
+            # Receive output gradients from the next stage.
+            if self.pp > 1 and pp_index < self.pp - 1:
+                peer = self.rank(pp_index + 1, dp_index, tp_index)
+                schedule.append(CollectiveItem(
+                    key=("pp-bwd", pp_index, dp_index, tp_index, microbatch),
+                    kind=CollectiveKind.SEND_RECV,
+                    count=activation_count,
+                    group_ranks=(peer, rank),
+                ))
+            for bucket_index, (bucket_layers, bucket_params) in enumerate(buckets):
+                bwd = self.model.backward_time_us(self.microbatch_size, bucket_layers)
+                schedule.append(ComputeItem(bwd / self.tp, f"bwd-mb{microbatch}-b{bucket_index}"))
+                if self.tp > 1:
+                    schedule.append(CollectiveItem(
+                        key=("tp-bwd", pp_index, dp_index, microbatch, bucket_index),
+                        kind=CollectiveKind.ALL_REDUCE,
+                        count=min(activation_count, 4 << 20),
+                        group_ranks=self.tp_group(pp_index, dp_index),
+                    ))
+                if self.dp > 1 and microbatch == self.num_microbatches - 1:
+                    schedule.append(CollectiveItem(
+                        key=("dp-grad", pp_index, tp_index, bucket_index),
+                        kind=CollectiveKind.ALL_REDUCE,
+                        count=max(1, bucket_params // self.tp),
+                        group_ranks=self.dp_group(pp_index, tp_index),
+                        priority=bucket_index,
+                    ))
+            # Send input gradients to the previous stage.
+            if self.pp > 1 and pp_index > 0:
+                peer = self.rank(pp_index - 1, dp_index, tp_index)
+                schedule.append(CollectiveItem(
+                    key=("pp-bwd", pp_index - 1, dp_index, tp_index, microbatch),
+                    kind=CollectiveKind.SEND_RECV,
+                    count=activation_count,
+                    group_ranks=(rank, peer),
+                ))
+
+        # Optimizer step.
+        optimizer = 0.05 * self.model.forward_time_us(self.microbatch_size, stage) / self.tp
+        schedule.append(ComputeItem(optimizer, "optimizer"))
+        return schedule
+
+    def all_schedules(self):
+        """Schedules for every rank in the plan, keyed by global rank."""
+        return {
+            self.base_rank + local: self.iteration_schedule(self.base_rank + local)
+            for local in range(self.world_size)
+        }
+
+    def collective_items(self, rank):
+        return [item for item in self.iteration_schedule(rank)
+                if isinstance(item, CollectiveItem)]
+
+    def unique_collectives(self):
+        """All distinct collective items across ranks, keyed by their schedule key."""
+        unique = {}
+        for rank in range(self.base_rank, self.base_rank + self.world_size):
+            for item in self.collective_items(rank):
+                unique.setdefault(item.key, item)
+        return unique
+
+
+def _stage_buckets(model, stage_layers, grad_buckets):
+    """Gradient buckets restricted to the layers of one pipeline stage."""
+    if not stage_layers:
+        return []
+    temp = model.gradient_buckets(grad_buckets)
+    stage_set = {layer.name for layer in stage_layers}
+    buckets = []
+    for layers, _ in temp:
+        chosen = [layer for layer in layers if layer.name in stage_set]
+        if chosen:
+            buckets.append((chosen, sum(layer.param_count for layer in chosen)))
+    return buckets

@@ -1,0 +1,131 @@
+"""The training-loop driver.
+
+``TrainingRun`` builds one host program per rank from the parallel plan and
+the chosen backend, runs the simulated cluster, and reports per-iteration
+times and throughput (samples per second), matching how the paper presents
+Figs. 10, 12 and 13.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.gpusim.host import CallHook, HostProgram
+
+
+@dataclass
+class TrainingResult:
+    """Measured outcome of one training run."""
+
+    backend: str
+    iterations: int
+    global_batch_size: int
+    iteration_times_us: list = field(default_factory=list)
+    per_rank_times_us: dict = field(default_factory=dict)
+    total_time_us: float = 0.0
+
+    @property
+    def mean_iteration_time_us(self):
+        if not self.iteration_times_us:
+            return 0.0
+        return statistics.fmean(self.iteration_times_us)
+
+    @property
+    def mean_iteration_time_ms(self):
+        return self.mean_iteration_time_us / 1e3
+
+    @property
+    def throughput_samples_per_s(self):
+        mean = self.mean_iteration_time_us
+        if mean <= 0:
+            return 0.0
+        return self.global_batch_size / (mean / 1e6)
+
+    def iteration_time_cv(self):
+        """Coefficient of variation of per-iteration time (Sec. 6.4.3)."""
+        if len(self.iteration_times_us) < 2:
+            return 0.0
+        mean = statistics.fmean(self.iteration_times_us)
+        if mean == 0:
+            return 0.0
+        return statistics.pstdev(self.iteration_times_us) / mean
+
+    def cumulative_mean_throughput(self):
+        """Running mean throughput per iteration (how Fig. 12 reports curves)."""
+        series = []
+        total = 0.0
+        for index, duration in enumerate(self.iteration_times_us, start=1):
+            total += duration
+            series.append(self.global_batch_size * index / (total / 1e6))
+        return series
+
+
+class TrainingRun:
+    """Run ``iterations`` training iterations of ``plan`` on ``backend``."""
+
+    def __init__(self, cluster, plan, backend, iterations=5, warmup=1):
+        if iterations <= warmup:
+            raise ConfigurationError("iterations must exceed warmup")
+        self.cluster = cluster
+        self.plan = plan
+        self.backend = backend
+        self.iterations = iterations
+        self.warmup = warmup
+        self._start_times = {}
+        self._end_times = {}
+
+    def _record(self, store, rank, iteration):
+        def hook(host):
+            store[(rank, iteration)] = host.now
+        return CallHook(hook, cost_us=0.0, detail=f"mark iter {iteration}")
+
+    def build_programs(self):
+        """Prepare the backend and build one host program per rank."""
+        self.backend.prepare(self.plan)
+        programs = {}
+        for local in range(self.plan.world_size):
+            rank = self.plan.base_rank + local
+            schedule = self.plan.iteration_schedule(rank)
+            ops = []
+            for iteration in range(self.iterations):
+                ops.append(self._record(self._start_times, rank, iteration))
+                ops.extend(self.backend.iteration_ops(rank, schedule, iteration))
+                ops.append(self._record(self._end_times, rank, iteration))
+            ops.extend(self.backend.finalize_ops(rank))
+            programs[rank] = HostProgram(ops)
+        return programs
+
+    def run(self):
+        """Execute the run and return a :class:`TrainingResult`."""
+        programs = self.build_programs()
+        for rank, program in programs.items():
+            self.cluster.add_host(rank, program, name=f"trainer-rank{rank}")
+        total = self.cluster.run()
+
+        ranks = [self.plan.base_rank + local for local in range(self.plan.world_size)]
+        iteration_times = []
+        per_rank = {rank: [] for rank in ranks}
+        for iteration in range(self.iterations):
+            durations = []
+            for rank in ranks:
+                start = self._start_times.get((rank, iteration))
+                end = self._end_times.get((rank, iteration))
+                if start is None or end is None:
+                    raise ConfigurationError(
+                        f"iteration {iteration} on rank {rank} was not recorded"
+                    )
+                per_rank[rank].append(end - start)
+                durations.append(end - start)
+            iteration_times.append(max(durations))
+
+        measured = iteration_times[self.warmup:]
+        return TrainingResult(
+            backend=self.backend.name,
+            iterations=self.iterations - self.warmup,
+            global_batch_size=self.plan.global_batch_size,
+            iteration_times_us=measured,
+            per_rank_times_us=per_rank,
+            total_time_us=total,
+        )

@@ -1,0 +1,226 @@
+"""Tests for the collective algorithm layer: channels, primitives, sequences."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import CollectiveKind, DeviceId, PrimitiveAction
+from repro.common.vtime import VirtualClock
+from repro.collectives import (
+    Channel,
+    ChunkMessage,
+    Communicator,
+    CostModel,
+    ExecOutcome,
+    PrimitiveExecutor,
+    chunk_loops,
+    generate_primitive_sequence,
+    primitive_count,
+)
+from repro.gpusim.cluster import build_cluster
+from repro.gpusim.interconnect import Interconnect
+
+
+def make_communicator(size=4):
+    cluster = build_cluster("single-3090")
+    return Communicator(cluster.devices[:size], cluster.interconnect)
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        channel = Channel(DeviceId(0, 0), DeviceId(0, 1))
+        for index in range(3):
+            channel.push(ChunkMessage(0, index, 0, 64, ready_time_us=0.0))
+        assert channel.pop(0.0).chunk_index == 0
+        assert channel.pop(0.0).chunk_index == 1
+
+    def test_capacity_limits_writes(self):
+        channel = Channel(DeviceId(0, 0), DeviceId(0, 1), capacity=2)
+        channel.push(ChunkMessage(0, 0, 0, 64, 0.0))
+        channel.push(ChunkMessage(0, 1, 0, 64, 0.0))
+        assert not channel.writable()
+        with pytest.raises(Exception):
+            channel.push(ChunkMessage(0, 2, 0, 64, 0.0))
+
+    def test_readable_respects_max_wait(self):
+        channel = Channel(DeviceId(0, 0), DeviceId(0, 1))
+        channel.push(ChunkMessage(0, 0, 0, 64, ready_time_us=100.0))
+        assert channel.readable()  # unbounded wait
+        assert not channel.readable(now_us=0.0, max_wait_us=10.0)
+        assert channel.readable(now_us=95.0, max_wait_us=10.0)
+
+    def test_pop_empty_raises(self):
+        channel = Channel(DeviceId(0, 0), DeviceId(0, 1))
+        with pytest.raises(Exception):
+            channel.pop(0.0)
+
+
+class TestCommunicator:
+    def test_ring_neighbours(self):
+        comm = make_communicator(4)
+        assert comm.ring_next(3) == 0
+        assert comm.ring_prev(0) == 3
+
+    def test_channels_are_cached(self):
+        comm = make_communicator(2)
+        assert comm.channel(0, 1) is comm.channel(0, 1)
+        assert comm.channel(0, 1) is not comm.channel(1, 0)
+
+    def test_reset_channels(self):
+        comm = make_communicator(2)
+        comm.channel(0, 1)
+        comm.reset_channels()
+        assert comm.channels() == {}
+
+
+class TestChunkLoops:
+    def test_small_payload_single_loop(self):
+        assert chunk_loops(1024, 8) == [128]
+
+    def test_large_payload_multiple_loops(self):
+        loops = chunk_loops(8 * (128 << 10) * 3, 8)
+        assert len(loops) == 3
+
+    def test_broadcast_style_not_sliced(self):
+        loops = chunk_loops(256 << 10, 8, per_rank_slices=False)
+        assert len(loops) == 2
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(Exception):
+            chunk_loops(0, 8)
+
+    @given(st.integers(1, 1 << 24), st.integers(2, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_loops_cover_payload(self, nbytes, group_size):
+        loops = chunk_loops(nbytes, group_size)
+        covered = sum(size * group_size for size in loops)
+        assert covered >= nbytes
+
+
+class TestSequences:
+    @pytest.mark.parametrize("kind,expected", [
+        # Ring all-reduce: 2(n-1) communication steps = 2n-1 primitives
+        # (the final step is a receive without a send), as in NCCL.
+        (CollectiveKind.ALL_REDUCE, 15),
+        (CollectiveKind.ALL_GATHER, 8),
+        (CollectiveKind.REDUCE_SCATTER, 8),
+        (CollectiveKind.BROADCAST, 1),
+        (CollectiveKind.REDUCE, 1),
+    ])
+    def test_primitive_counts_per_loop(self, kind, expected):
+        assert primitive_count(kind, 8, nbytes=1024) == expected
+
+    def test_single_rank_collective_is_a_copy(self):
+        sequence = generate_primitive_sequence(CollectiveKind.ALL_REDUCE, 0, 1, 1024)
+        assert len(sequence) == 1
+        assert sequence[0].action == PrimitiveAction.COPY
+
+    def test_all_reduce_structure(self):
+        sequence = generate_primitive_sequence(CollectiveKind.ALL_REDUCE, 2, 4, 1024)
+        names = [primitive.name for primitive in sequence]
+        assert names == ["send", "recvReduceSend", "recvReduceSend",
+                         "recvReduceCopySend", "recvCopySend", "recvCopySend", "recv"]
+
+    def test_broadcast_roles(self):
+        root_seq = generate_primitive_sequence(CollectiveKind.BROADCAST, 0, 4, 1024, root=0)
+        tail_seq = generate_primitive_sequence(CollectiveKind.BROADCAST, 3, 4, 1024, root=0)
+        mid_seq = generate_primitive_sequence(CollectiveKind.BROADCAST, 1, 4, 1024, root=0)
+        assert root_seq[0].name == "send"
+        assert tail_seq[0].name == "recv"
+        assert mid_seq[0].name == "recvCopySend"
+
+    def test_reduce_roles(self):
+        root_seq = generate_primitive_sequence(CollectiveKind.REDUCE, 0, 4, 1024, root=0)
+        start_seq = generate_primitive_sequence(CollectiveKind.REDUCE, 1, 4, 1024, root=0)
+        assert root_seq[0].name == "recvReduceCopy"
+        assert start_seq[0].name == "send"
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(Exception):
+            generate_primitive_sequence(CollectiveKind.ALL_REDUCE, 9, 4, 1024)
+
+    @given(st.sampled_from(list(CollectiveKind)), st.integers(2, 12),
+           st.integers(1, 1 << 22))
+    @settings(max_examples=60, deadline=None)
+    def test_sequences_balanced_across_ring(self, kind, group_size, nbytes):
+        """Every send in the ring has a matching recv on the next rank."""
+        if kind is CollectiveKind.SEND_RECV:
+            group_size = 2
+        sequences = {
+            rank: generate_primitive_sequence(kind, rank, group_size, nbytes)
+            for rank in range(group_size)
+        }
+        total_sends = sum(
+            1 for seq in sequences.values() for prim in seq if prim.sends
+        )
+        total_recvs = sum(
+            1 for seq in sequences.values() for prim in seq if prim.recvs
+        )
+        assert total_sends == total_recvs
+
+
+class TestPrimitiveExecutor:
+    def _executors(self, kind=CollectiveKind.ALL_REDUCE, group_size=4, nbytes=4096):
+        comm = make_communicator(group_size)
+        executors = []
+        for rank in range(group_size):
+            sequence = generate_primitive_sequence(kind, rank, group_size, nbytes)
+            executors.append(PrimitiveExecutor(0, rank, comm, sequence))
+        return executors
+
+    def test_round_robin_execution_completes(self):
+        executors = self._executors()
+        clocks = [VirtualClock() for _ in executors]
+        for _ in range(1000):
+            if all(executor.done() for executor in executors):
+                break
+            for executor, clock in zip(executors, clocks):
+                executor.try_execute_current(clock)
+        assert all(executor.done() for executor in executors)
+
+    def test_wait_recv_reported_when_channel_empty(self):
+        executors = self._executors()
+        clock = VirtualClock()
+        # First primitive (send) succeeds, second (recvReduceSend) must wait.
+        assert executors[0].try_execute_current(clock).outcome is ExecOutcome.SUCCESS
+        outcome = executors[0].try_execute_current(clock)
+        assert outcome.outcome is ExecOutcome.WAIT_RECV
+        assert outcome.wait_key is not None
+
+    def test_context_save_restore(self):
+        executors = self._executors()
+        clock = VirtualClock()
+        executors[0].try_execute_current(clock)
+        saved = executors[0].save_dynamic_context()
+        assert saved == {"position": 1}
+        executors[0].load_dynamic_context({"position": 0})
+        assert executors[0].position == 0
+
+    def test_progress_fraction(self):
+        executors = self._executors()
+        assert executors[0].progress_fraction() == 0.0
+        clock = VirtualClock()
+        executors[0].try_execute_current(clock)
+        assert 0.0 < executors[0].progress_fraction() < 1.0
+
+    def test_all_done_outcome(self):
+        comm = make_communicator(1)
+        sequence = generate_primitive_sequence(CollectiveKind.ALL_REDUCE, 0, 1, 64)
+        executor = PrimitiveExecutor(0, 0, comm, sequence)
+        clock = VirtualClock()
+        assert executor.try_execute_current(clock).outcome is ExecOutcome.SUCCESS
+        assert executor.try_execute_current(clock).outcome is ExecOutcome.ALL_DONE
+
+
+class TestCostModel:
+    def test_primitive_time_includes_overhead(self):
+        model = CostModel()
+        assert model.primitive_time_us(0) >= model.primitive_overhead_us
+
+    def test_transfer_dominates_for_slow_link(self):
+        from repro.gpusim.interconnect import LinkSpec
+        from repro.common.types import LinkType
+        model = CostModel()
+        link = LinkSpec.of(LinkType.RDMA)
+        with_send = model.primitive_time_us(1 << 20, link=link, sends=True)
+        without = model.primitive_time_us(1 << 20, link=None, sends=False)
+        assert with_send > without

@@ -1,0 +1,147 @@
+"""Tests for the adaptive stickiness scheduling policies and the profiler."""
+
+import pytest
+
+from repro.core import DfcclConfig
+from repro.core.profiler import AutoProfiler
+from repro.core.scheduling import (
+    AdaptiveSpinPolicy,
+    DaemonStats,
+    FifoOrderingPolicy,
+    NaiveSpinPolicy,
+    PriorityOrderingPolicy,
+    TaskEntry,
+    TaskQueue,
+    make_ordering_policy,
+    make_spin_policy,
+)
+
+
+class _FakeInvocation:
+    def __init__(self, coll_id):
+        self.coll_id = coll_id
+        self.invocation_id = coll_id
+
+
+def make_entry(coll_id, priority=0, arrival=0):
+    return TaskEntry(invocation=_FakeInvocation(coll_id), group_rank=0, executor=None,
+                     priority=priority, arrival_index=arrival)
+
+
+class TestTaskQueue:
+    def test_append_remove(self):
+        queue = TaskQueue()
+        entry = make_entry(1)
+        queue.append(entry)
+        assert len(queue) == 1
+        queue.remove(entry)
+        assert len(queue) == 0
+
+    def test_priority_sort_is_stable(self):
+        queue = TaskQueue()
+        queue.append(make_entry(1, priority=0, arrival=0))
+        queue.append(make_entry(2, priority=5, arrival=1))
+        queue.append(make_entry(3, priority=5, arrival=2))
+        queue.sort_by_priority()
+        assert [entry.coll_id for entry in queue] == [2, 3, 1]
+
+    def test_length_samples(self):
+        queue = TaskQueue()
+        queue.append(make_entry(1))
+        queue.record_length(1)
+        assert queue.length_samples == [(1, 1)]
+
+
+class TestOrderingPolicies:
+    def test_fifo_fetches_when_empty_or_stuck(self):
+        policy = FifoOrderingPolicy()
+        assert policy.should_fetch(queue_empty=True, pass_made_progress=True,
+                                   at_pass_start=True)
+        assert policy.should_fetch(queue_empty=False, pass_made_progress=False,
+                                   at_pass_start=True)
+        assert not policy.should_fetch(queue_empty=False, pass_made_progress=True,
+                                       at_pass_start=True)
+
+    def test_priority_fetches_every_pass(self):
+        policy = PriorityOrderingPolicy()
+        assert policy.should_fetch(queue_empty=False, pass_made_progress=True,
+                                   at_pass_start=True)
+
+    def test_factory(self):
+        assert isinstance(make_ordering_policy(DfcclConfig()), FifoOrderingPolicy)
+        assert isinstance(make_ordering_policy(DfcclConfig(ordering="priority")),
+                          PriorityOrderingPolicy)
+
+
+class TestSpinPolicies:
+    def test_adaptive_front_gets_largest_threshold(self):
+        policy = AdaptiveSpinPolicy(initial=10_000, position_decay=0.5, minimum=100)
+        queue = TaskQueue()
+        for coll_id in range(4):
+            queue.append(make_entry(coll_id))
+        policy.assign_initial(queue)
+        thresholds = [entry.spin_threshold for entry in queue]
+        assert thresholds == sorted(thresholds, reverse=True)
+        assert thresholds[0] == 10_000
+
+    def test_adaptive_minimum_floor(self):
+        policy = AdaptiveSpinPolicy(initial=1_000, position_decay=0.1, minimum=500)
+        assert policy.initial_for_position(5) == 500
+
+    def test_adaptive_boost_after_success(self):
+        policy = AdaptiveSpinPolicy(initial=1_000, boost=20.0)
+        entry = make_entry(0)
+        entry.reset_spin(1_000)
+        policy.on_success(entry)
+        assert entry.spin_threshold == 20_000
+        assert entry.spin_remaining == 20_000
+
+    def test_naive_policy_fixed_threshold(self):
+        policy = NaiveSpinPolicy(threshold=10_000)
+        queue = TaskQueue()
+        for coll_id in range(3):
+            queue.append(make_entry(coll_id))
+        policy.assign_initial(queue)
+        assert {entry.spin_threshold for entry in queue} == {10_000}
+
+    def test_factory(self):
+        assert isinstance(make_spin_policy(DfcclConfig()), AdaptiveSpinPolicy)
+        assert isinstance(make_spin_policy(DfcclConfig(spin_policy="naive")),
+                          NaiveSpinPolicy)
+
+    def test_entry_spin_quantum_resets(self):
+        entry = make_entry(0)
+        entry.spin_quantum = 8_000
+        entry.reset_spin(1_000)
+        assert entry.spin_quantum == 500
+
+
+class TestDaemonStats:
+    def test_mean_costs(self):
+        stats = DaemonStats()
+        assert stats.mean_cqe_write_time_us() == 0.0
+        stats.cqes_written = 2
+        stats.cqe_write_time_us = 4.0
+        assert stats.mean_cqe_write_time_us() == 2.0
+        stats.sqes_read = 4
+        stats.sqe_read_time_us = 21.2
+        assert stats.mean_sqe_read_time_us() == pytest.approx(5.3)
+
+
+class TestAutoProfiler:
+    def test_recommends_positive_threshold(self):
+        profiler = AutoProfiler(DfcclConfig())
+        result = profiler.calibrate()
+        assert result.initial_spin_threshold >= profiler.MIN_THRESHOLD
+        assert result.quit_period_us >= 200.0
+
+    def test_tuned_config_applies_recommendation(self):
+        config = DfcclConfig()
+        tuned = AutoProfiler(config).tuned_config()
+        assert tuned.initial_spin_threshold == AutoProfiler(config).calibrate().initial_spin_threshold
+
+    def test_overhead_model_is_convex_in_threshold(self):
+        """Expression (2): T ~ N + 1/N has a minimum away from the extremes."""
+        values = {n: AutoProfiler.overhead_model(n, scale=100.0) for n in (1, 100, 10_000)}
+        assert values[100] < values[1]
+        assert values[100] < values[10_000]

@@ -1,0 +1,177 @@
+"""Tests for the Sec. 2.4 deadlock simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deadlock import (
+    DeadlockSimulator,
+    FreeGroupingPolicy,
+    SingleQueueModel,
+    SynchronizationModel,
+    TABLE1_CONFIGS,
+    ThreeDGroupingPolicy,
+    table1_rows,
+)
+from repro.deadlock.dependency_graph import DependencyGraph
+from repro.deadlock.grouping import GroupedWorkload
+from repro.deadlock.models import make_model
+
+
+class TestDependencyGraph:
+    def test_no_cycle_in_dag(self):
+        graph = DependencyGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        assert not graph.has_cycle()
+        assert graph.find_cycle() is None
+
+    def test_detects_simple_cycle(self):
+        graph = DependencyGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        assert graph.has_cycle()
+        assert set(graph.find_cycle()) == {"a", "b"}
+
+    def test_detects_long_cycle(self):
+        graph = DependencyGraph()
+        nodes = ["a", "b", "c", "d"]
+        for src, dst in zip(nodes, nodes[1:] + nodes[:1]):
+            graph.add_edge(src, dst)
+        assert graph.has_cycle()
+        assert len(graph.find_cycle()) == 4
+
+    def test_remove_node_breaks_cycle(self):
+        graph = DependencyGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        graph.remove_node("a")
+        assert not graph.has_cycle()
+
+    def test_self_edges_ignored(self):
+        graph = DependencyGraph()
+        graph.add_edge("a", "a")
+        assert not graph.has_cycle()
+
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_find_cycle_consistent_with_has_cycle(self, edges):
+        graph = DependencyGraph()
+        for src, dst in edges:
+            graph.add_edge(src, dst)
+        assert graph.has_cycle() == (graph.find_cycle() is not None)
+
+
+class TestGrouping:
+    def test_3d_grouping_counts(self):
+        policy = ThreeDGroupingPolicy(4, 4, 4, tp_collectives=10, dp_collectives=30)
+        groups = policy.build_groups()
+        assert policy.num_gpus == 64
+        assert len(groups) == 32  # 16 TP groups + 16 DP groups
+        tp_groups = [group for group in groups if group.kind == "tp"]
+        assert all(len(group.gpus) == 4 for group in tp_groups)
+
+    def test_3d_each_gpu_in_two_groups(self):
+        policy = ThreeDGroupingPolicy(4, 4, 4, 10, 30)
+        workload = GroupedWorkload.from_policy(policy)
+        for gpu in range(policy.num_gpus):
+            assert workload.overlap_degree(gpu) == 2
+
+    def test_free_grouping_paper_case_shape(self):
+        policy = FreeGroupingPolicy.paper_case(32, 64, 400, 1200)
+        groups = policy.build_groups()
+        sizes = sorted(len(group.gpus) for group in groups)
+        assert sizes.count(3) == 28 and sizes.count(8) == 4
+        counts = {group.num_collectives for group in groups}
+        assert counts == {400, 1200}
+
+    def test_free_grouping_membership_union(self):
+        policy = FreeGroupingPolicy([([0, 1], 2), ([1, 2], 3)])
+        workload = GroupedWorkload.from_policy(policy)
+        assert len(workload.per_gpu_collectives[1]) == 5
+        assert len(workload.per_gpu_collectives[0]) == 2
+
+
+class TestModels:
+    def test_factory(self):
+        assert isinstance(make_model("single-queue"), SingleQueueModel)
+        assert isinstance(make_model("synchronization"), SynchronizationModel)
+        with pytest.raises(ValueError):
+            make_model("bogus")
+
+    def test_single_queue_one_executing_per_gpu(self):
+        policy = FreeGroupingPolicy([([0, 1], 3)])
+        simulator = DeadlockSimulator(policy, "single-queue", 0.0, 0.0, seed=0)
+        result = simulator.run_round(0, skip_ordered_rounds=False)
+        assert not result.deadlocked
+
+    def test_sync_model_without_sync_never_deadlocks(self):
+        """Disorder alone cannot deadlock with unlimited resources (Fig. 1(b))."""
+        policy = FreeGroupingPolicy([([0, 1], 8)])
+        simulator = DeadlockSimulator(policy, "synchronization",
+                                      disorder_prob=0.8, sync_prob=0.0, seed=1)
+        results = [simulator.run_round(index, skip_ordered_rounds=False)
+                   for index in range(20)]
+        assert not any(result.deadlocked for result in results)
+
+
+class TestSimulator:
+    def test_ordered_rounds_never_deadlock(self):
+        policy = FreeGroupingPolicy([([0, 1, 2], 10)])
+        simulator = DeadlockSimulator(policy, "single-queue", 0.0, 0.0, seed=0)
+        estimate = simulator.estimate(rounds=5)
+        assert estimate.ratio == 0.0
+
+    def test_forced_disorder_deadlocks_single_queue(self):
+        policy = FreeGroupingPolicy([([0, 1], 6)])
+        simulator = DeadlockSimulator(policy, "single-queue",
+                                      disorder_prob=0.5, sync_prob=0.0, seed=2)
+        estimate = simulator.estimate(rounds=30)
+        assert estimate.ratio > 0.5
+
+    def test_deadlocked_round_reports_cycle(self):
+        policy = FreeGroupingPolicy([([0, 1], 6)])
+        simulator = DeadlockSimulator(policy, "single-queue", 0.5, 0.0, seed=3)
+        deadlocked = [simulator.run_round(index) for index in range(30)]
+        cycles = [result.cycle for result in deadlocked if result.deadlocked]
+        assert cycles and all(cycle for cycle in cycles)
+
+    def test_sync_plus_disorder_can_deadlock(self):
+        policy = FreeGroupingPolicy([([0, 1], 20), ([0, 1], 20)])
+        simulator = DeadlockSimulator(policy, "synchronization",
+                                      disorder_prob=0.2, sync_prob=0.2, seed=4)
+        estimate = simulator.estimate(rounds=40)
+        assert estimate.ratio > 0.0
+
+    def test_deadlock_ratio_monotonic_in_disorder(self):
+        policy = FreeGroupingPolicy([([0, 1, 2, 3], 20)])
+        ratios = []
+        for disorder in (0.01, 0.3):
+            simulator = DeadlockSimulator(policy, "single-queue", disorder, 0.0, seed=5)
+            ratios.append(simulator.estimate(rounds=60).ratio)
+        assert ratios[1] >= ratios[0]
+
+    def test_reproducible_with_same_seed(self):
+        policy = FreeGroupingPolicy([([0, 1], 10)])
+        first = DeadlockSimulator(policy, "single-queue", 0.3, 0.0, seed=9).estimate(20)
+        second = DeadlockSimulator(policy, "single-queue", 0.3, 0.0, seed=9).estimate(20)
+        assert first.ratio == second.ratio
+
+
+class TestTable1Configs:
+    def test_all_rows_present(self):
+        assert len(table1_rows()) == 18
+
+    def test_rows_build_policies(self):
+        for name in ("sq-3d-444-1e-6", "sq-free-1x8-1e-5", "sync-free-32x64-4e-5-4e-5"):
+            policy = TABLE1_CONFIGS[name].build_policy()
+            assert policy.num_gpus >= 8
+
+    def test_scaling_preserves_expected_event_count(self):
+        config = TABLE1_CONFIGS["sq-3d-444-1e-6"]
+        scaled = config.scaled(0.1)
+        original_expected = config.tp_collectives * config.disorder_prob
+        scaled_expected = scaled.tp_collectives * scaled.disorder_prob
+        assert scaled_expected == pytest.approx(original_expected, rel=0.3)
+
+    def test_paper_ratios_recorded(self):
+        assert TABLE1_CONFIGS["sync-free-32x64-large"].paper_ratio == pytest.approx(0.0694)

@@ -1,0 +1,181 @@
+"""End-to-end DFCCL tests: deadlock prevention, correctness, scheduling, lifecycle."""
+
+import pytest
+
+from repro.common.errors import DeadlockError
+from repro.common.rng import DeterministicRNG
+from repro.common.types import CollectiveKind, CollectiveSpec
+from repro.core import DfcclBackend, DfcclConfig
+from repro.gpusim import HostProgram, build_cluster
+from repro.gpusim.host import DeviceSynchronize
+
+
+def run_dfccl(num_gpus=2, coll_sizes=(1024, 1024), orders=None, with_sync=False,
+              config=None, iterations=1, max_blocks=None):
+    """Run a DFCCL program with the given per-rank invocation orders."""
+    cluster = build_cluster("single-3090", max_resident_blocks=max_blocks)
+    backend = DfcclBackend(cluster, config)
+    ranks = list(range(num_gpus))
+    backend.init_all_ranks(ranks)
+    for coll_id, count in enumerate(coll_sizes):
+        backend.register_all_reduce(coll_id, count=count, ranks=ranks)
+    programs = []
+    for rank in ranks:
+        ops = []
+        for iteration in range(iterations):
+            order = orders(rank, iteration) if orders else list(range(len(coll_sizes)))
+            handles = [backend.submit(rank, coll_id) for coll_id in order]
+            for index, handle in enumerate(handles):
+                ops.append(handle.submit_op())
+                if with_sync and index == 0:
+                    ops.append(DeviceSynchronize())
+            ops += [handle.wait_op() for handle in handles]
+        ops.append(backend.destroy_op(rank))
+        programs.append(HostProgram(ops))
+    cluster.add_hosts(programs)
+    final_time = cluster.run()
+    return cluster, backend, final_time
+
+
+class TestDeadlockPrevention:
+    def test_consistent_order_completes(self):
+        _, backend, _ = run_dfccl()
+        assert backend.stats(0).cqes_written == 2
+
+    def test_disordered_single_queue_case_completes(self):
+        """The Fig. 1(c) single-queue scenario does not deadlock under DFCCL."""
+        _, backend, _ = run_dfccl(orders=lambda rank, _: [0, 1] if rank == 0 else [1, 0])
+        assert backend.stats(0).cqes_written == 2
+        assert backend.stats(1).cqes_written == 2
+
+    def test_disordered_with_resource_depletion_completes(self):
+        _, backend, _ = run_dfccl(orders=lambda rank, _: [0, 1] if rank == 0 else [1, 0],
+                                  max_blocks=1)
+        assert backend.stats(0).cqes_written == 2
+
+    def test_disordered_with_gpu_sync_completes(self):
+        """The Fig. 1(d) synchronization scenario does not deadlock under DFCCL."""
+        _, backend, _ = run_dfccl(orders=lambda rank, _: [0, 1] if rank == 0 else [1, 0],
+                                  with_sync=True)
+        total_quits = backend.stats(0).voluntary_quits + backend.stats(1).voluntary_quits
+        assert backend.stats(0).cqes_written == 2
+        assert total_quits >= 1  # voluntary quitting is what breaks the sync deadlock
+
+    def test_preemption_happens_under_disorder(self):
+        _, backend, _ = run_dfccl(orders=lambda rank, _: [0, 1] if rank == 0 else [1, 0])
+        assert backend.stats(0).preemptions + backend.stats(1).preemptions > 0
+
+    def test_eight_gpu_random_orders_complete(self):
+        rng = DeterministicRNG(5)
+        _, backend, _ = run_dfccl(
+            num_gpus=8,
+            coll_sizes=tuple(64 << index for index in range(6)),
+            orders=lambda rank, it: rng.child(rank, it).permutation(6),
+            iterations=2,
+        )
+        for rank in range(8):
+            assert backend.stats(rank).cqes_written == 12
+
+
+class TestLifecycle:
+    def test_repeated_invocation_of_registered_collective(self):
+        _, backend, _ = run_dfccl(coll_sizes=(2048,), iterations=4)
+        assert backend.stats(0).cqes_written == 4
+
+    def test_daemon_launch_and_final_exit(self):
+        _, backend, _ = run_dfccl()
+        context = backend.context(0)
+        assert context.finally_exited
+        assert not context.daemon_alive
+        assert backend.stats(0).launches >= 1
+        assert backend.stats(0).final_exits == 1
+
+    def test_duplicate_registration_rejected(self):
+        cluster = build_cluster("single-3090")
+        backend = DfcclBackend(cluster)
+        backend.register_all_reduce(0, count=64, ranks=[0, 1])
+        with pytest.raises(Exception):
+            backend.register_all_reduce(0, count=64, ranks=[0, 1])
+
+    def test_all_collective_kinds_supported(self):
+        cluster = build_cluster("single-3090")
+        backend = DfcclBackend(cluster)
+        ranks = list(range(4))
+        backend.init_all_ranks(ranks)
+        backend.register_all_reduce(0, count=256, ranks=ranks)
+        backend.register_all_gather(1, count=256, ranks=ranks)
+        backend.register_reduce_scatter(2, count=256, ranks=ranks)
+        backend.register_broadcast(3, count=256, ranks=ranks, root=1)
+        backend.register_reduce(4, count=256, ranks=ranks, root=2)
+        programs = []
+        for rank in ranks:
+            handles = [backend.submit(rank, coll_id) for coll_id in range(5)]
+            ops = [op for handle in handles for op in handle.ops()]
+            ops.append(backend.destroy_op(rank))
+            programs.append(HostProgram(ops))
+        cluster.add_hosts(programs)
+        cluster.run()
+        assert backend.stats(0).cqes_written == 5
+
+    def test_memory_overhead_report_scales_with_collectives(self):
+        cluster = build_cluster("single-3090")
+        backend = DfcclBackend(cluster)
+        report_small = backend.memory_overhead_report(num_collectives=10)
+        report_large = backend.memory_overhead_report(num_collectives=1000)
+        assert report_large["shared_bytes_per_block"] > report_small["shared_bytes_per_block"]
+
+
+class TestSchedulingBehaviour:
+    def test_priority_ordering_config_runs(self):
+        config = DfcclConfig(ordering="priority")
+        _, backend, _ = run_dfccl(config=config,
+                                  orders=lambda rank, _: [0, 1] if rank == 0 else [1, 0])
+        assert backend.stats(0).cqes_written == 2
+
+    def test_naive_policy_causes_more_preemptions_than_adaptive(self):
+        def orders(rank, _):
+            return [0, 1, 2, 3] if rank == 0 else [3, 2, 1, 0]
+
+        sizes = (4096,) * 4
+        _, adaptive_backend, _ = run_dfccl(coll_sizes=sizes, orders=orders,
+                                           config=DfcclConfig(spin_policy="adaptive"))
+        _, naive_backend, _ = run_dfccl(coll_sizes=sizes, orders=orders,
+                                        config=DfcclConfig(spin_policy="naive"))
+        adaptive = sum(adaptive_backend.stats(rank).preemptions for rank in range(2))
+        naive = sum(naive_backend.stats(rank).preemptions for rank in range(2))
+        assert naive >= adaptive
+
+    def test_task_queue_length_samples_recorded(self):
+        _, backend, _ = run_dfccl(coll_sizes=(1024, 1024, 1024))
+        assert len(backend.stats(0).task_queue_length_samples) == 3
+
+    def test_fig7_style_time_overheads_present(self):
+        _, backend, _ = run_dfccl()
+        stats = backend.stats(0)
+        assert stats.mean_sqe_read_time_us() == pytest.approx(5.3, abs=0.1)
+        assert stats.mean_cqe_write_time_us() == pytest.approx(2.0, abs=0.5)
+
+
+class TestVersusNccl:
+    def test_dfccl_survives_where_nccl_deadlocks(self):
+        """The same disordered program deadlocks NCCL but completes under DFCCL."""
+        from repro.ncclsim import NcclBackend
+        from repro.ncclsim.program import launch_collective, wait_collective
+
+        # NCCL: deadlock expected.
+        cluster = build_cluster("single-3090")
+        nccl = NcclBackend(cluster)
+        comm = nccl.create_communicator(ranks=[0, 1])
+        op_a, op_b = comm.all_reduce(0, 1024), comm.all_reduce(1, 1024)
+        cluster.add_hosts([
+            HostProgram([launch_collective(nccl, op_a, 0), launch_collective(nccl, op_b, 0),
+                         wait_collective(op_a, 0), wait_collective(op_b, 0)]),
+            HostProgram([launch_collective(nccl, op_b, 1), launch_collective(nccl, op_a, 1),
+                         wait_collective(op_b, 1), wait_collective(op_a, 1)]),
+        ])
+        with pytest.raises(DeadlockError):
+            cluster.run()
+
+        # DFCCL: completes.
+        _, backend, _ = run_dfccl(orders=lambda rank, _: [0, 1] if rank == 0 else [1, 0])
+        assert backend.stats(0).cqes_written == 2

@@ -1,0 +1,308 @@
+"""Tests for the GPU cluster substrate: engine, device, streams, memory, hosts."""
+
+import pytest
+
+from repro.common.errors import DeadlockError, ResourceExhaustedError
+from repro.common.types import DeviceId, LinkType
+from repro.gpusim import Engine, StepResult, build_cluster
+from repro.gpusim.cluster import ClusterSpec, NodeSpec, dual_server_spec, mixed_32gpu_spec
+from repro.gpusim.device import SleepKernel
+from repro.gpusim.engine import Actor
+from repro.gpusim.host import CpuCompute, DeviceSynchronize, HostProgram, LaunchKernel
+from repro.gpusim.interconnect import Interconnect, LinkSpec
+from repro.gpusim.memory import MemoryAccountant, PinnedHostAllocator
+
+
+class _CountdownActor(Actor):
+    """Does N units of work, each costing 1 us."""
+
+    def __init__(self, name, steps):
+        super().__init__(name)
+        self.remaining = steps
+
+    def step(self):
+        if self.remaining == 0:
+            return StepResult.done()
+        self.remaining -= 1
+        self.clock.advance(1.0)
+        return StepResult.progress()
+
+
+class _WaiterActor(Actor):
+    def __init__(self, name, key):
+        super().__init__(name)
+        self.key = key
+        self.woken = False
+
+    def step(self):
+        if not self.woken:
+            self.woken = True
+            return StepResult.blocked([self.key])
+        return StepResult.done()
+
+
+class _SignallerActor(Actor):
+    def __init__(self, name, key, at_time):
+        super().__init__(name)
+        self.key = key
+        self.at_time = at_time
+        self._fired = False
+
+    def step(self):
+        if not self._fired:
+            self._fired = True
+            self.clock.advance(self.at_time)
+            self.engine.signal(self.key, self.clock.now)
+            return StepResult.progress()
+        return StepResult.done()
+
+
+class TestEngine:
+    def test_runs_actors_to_completion(self):
+        engine = Engine()
+        actor = engine.add_actor(_CountdownActor("worker", 5))
+        engine.run()
+        assert actor.finished
+        assert actor.now == pytest.approx(5.0)
+
+    def test_smallest_clock_scheduling(self):
+        engine = Engine(trace=[])
+        engine.add_actor(_CountdownActor("slow", 3))
+        engine.add_actor(_CountdownActor("fast", 3))
+        engine.run()
+        times = [entry[0] for entry in engine.trace]
+        assert times == sorted(times)
+
+    def test_blocked_actor_wakes_on_signal(self):
+        engine = Engine()
+        waiter = engine.add_actor(_WaiterActor("waiter", "ready"))
+        engine.add_actor(_SignallerActor("signaller", "ready", at_time=7.0))
+        engine.run()
+        assert waiter.finished
+        assert waiter.now >= 7.0
+
+    def test_deadlock_detected_when_no_signal_possible(self):
+        engine = Engine()
+        engine.add_actor(_WaiterActor("waiter-a", "never"))
+        with pytest.raises(DeadlockError):
+            engine.run()
+
+    def test_deadlock_record_mode(self):
+        engine = Engine(deadlock_mode="record")
+        engine.add_actor(_WaiterActor("waiter-a", "never"))
+        engine.run()
+        assert engine.deadlock_report is not None
+        assert "waiter-a" in engine.deadlock_report.involved()
+
+    def test_daemon_actor_does_not_keep_engine_alive(self):
+        engine = Engine()
+
+        class _Idle(Actor):
+            daemon = True
+
+            def step(self):
+                return StepResult.blocked(["never-signalled"])
+
+        engine.add_actor(_Idle("service"))
+        engine.add_actor(_CountdownActor("worker", 2))
+        engine.run()  # must terminate despite the forever-blocked daemon
+
+    def test_sleeping_actor_preserves_causality(self):
+        """A sleeper must not observe state written at a later virtual time."""
+        engine = Engine()
+        order = []
+
+        class _Sleeper(Actor):
+            def __init__(self):
+                super().__init__("sleeper")
+                self._slept = False
+
+            def step(self):
+                if not self._slept:
+                    self._slept = True
+                    return StepResult.sleep(5.0)
+                order.append(("sleeper", self.now))
+                return StepResult.done()
+
+        class _Worker(Actor):
+            def __init__(self):
+                super().__init__("worker")
+                self._count = 0
+
+            def step(self):
+                self._count += 1
+                order.append(("worker", self.now))  # record the step START time
+                self.clock.advance(4.0)
+                if self._count == 3:
+                    return StepResult.done()
+                return StepResult.progress()
+
+        engine.add_actor(_Sleeper())
+        engine.add_actor(_Worker())
+        engine.run()
+        # No actor's step may *start* after the sleeper's wake time but be
+        # scheduled before it: step-start times must be non-decreasing.
+        times = [time for _, time in order]
+        assert times == sorted(times)
+
+
+class TestMemory:
+    def test_allocate_and_free(self):
+        accountant = MemoryAccountant("test", 100)
+        accountant.allocate("a", 60)
+        assert accountant.used_bytes == 60
+        accountant.free("a")
+        assert accountant.used_bytes == 0
+
+    def test_over_allocation_raises(self):
+        accountant = MemoryAccountant("test", 100)
+        accountant.allocate("a", 80)
+        with pytest.raises(ResourceExhaustedError):
+            accountant.allocate("b", 30)
+
+    def test_duplicate_name_rejected(self):
+        accountant = MemoryAccountant("test", 100)
+        accountant.allocate("a", 10)
+        with pytest.raises(ValueError):
+            accountant.allocate("a", 10)
+
+    def test_peak_tracking(self):
+        accountant = MemoryAccountant("test", 100)
+        accountant.allocate("a", 70)
+        accountant.free("a")
+        accountant.allocate("b", 30)
+        assert accountant.peak_bytes == 70
+
+    def test_pinned_allocator_records_allocations(self):
+        allocator = PinnedHostAllocator()
+        allocator.allocate("buf", 1 << 20, time_us=3.0)
+        assert allocator.accountant.used_bytes == 1 << 20
+        assert allocator.allocations[0].time_us == 3.0
+
+
+class TestInterconnect:
+    def test_pix_vs_sys_vs_rdma(self):
+        interconnect = Interconnect(pix_group_size=4)
+        same_pix = interconnect.link(DeviceId(0, 0), DeviceId(0, 3))
+        cross_pix = interconnect.link(DeviceId(0, 0), DeviceId(0, 5))
+        cross_node = interconnect.link(DeviceId(0, 0), DeviceId(1, 0))
+        assert same_pix.link_type is LinkType.SHM_PIX
+        assert cross_pix.link_type is LinkType.SHM_SYS
+        assert cross_node.link_type is LinkType.RDMA
+
+    def test_loopback(self):
+        interconnect = Interconnect()
+        assert interconnect.link(DeviceId(0, 1), DeviceId(0, 1)).link_type is LinkType.LOOPBACK
+
+    def test_override(self):
+        interconnect = Interconnect()
+        interconnect.override(DeviceId(0, 0), DeviceId(0, 1), LinkSpec.of(LinkType.NVLINK))
+        assert interconnect.link(DeviceId(0, 1), DeviceId(0, 0)).link_type is LinkType.NVLINK
+
+    def test_bottleneck_bandwidth(self):
+        interconnect = Interconnect()
+        devices = [DeviceId(0, 0), DeviceId(0, 5), DeviceId(1, 0)]
+        assert interconnect.bottleneck_beta_gbps(devices) == LinkType.RDMA.beta_gbps
+
+
+class TestCluster:
+    def test_single_server_has_eight_gpus(self):
+        cluster = build_cluster("single-3090")
+        assert cluster.world_size == 8
+
+    def test_dual_and_mixed_topologies(self):
+        assert build_cluster("dual-3090").world_size == 16
+        assert build_cluster("mixed-32").world_size == 32
+
+    def test_custom_spec(self):
+        spec = ClusterSpec(nodes=[NodeSpec("tiny", num_gpus=2)])
+        cluster = build_cluster(spec)
+        assert cluster.world_size == 2
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(Exception):
+            build_cluster("not-a-topology")
+
+    def test_dual_server_spec_names(self):
+        spec = dual_server_spec()
+        assert len(spec.nodes) == 2
+        assert mixed_32gpu_spec().total_gpus == 32
+
+
+class TestDeviceAndStreams:
+    def test_sleep_kernel_runs_and_frees_blocks(self):
+        cluster = build_cluster("single-3090")
+        device = cluster.device(0)
+        program = HostProgram([
+            LaunchKernel(lambda host: SleepKernel("k0", host.device, 10.0, grid_size=2)),
+        ])
+        cluster.add_host(0, program)
+        cluster.run()
+        assert device.kernel_complete_count == 1
+        assert device.free_blocks == device.max_resident_blocks
+
+    def test_same_stream_kernels_serialize(self):
+        cluster = build_cluster("single-3090")
+        completions = []
+
+        def make(name, duration):
+            def factory(host):
+                kernel = SleepKernel(name, host.device, duration)
+                original = kernel.complete
+
+                def complete(detail="kernel complete"):
+                    completions.append((name, kernel.now))
+                    return original(detail)
+
+                kernel.complete = complete
+                return kernel
+            return factory
+
+        program = HostProgram([
+            LaunchKernel(make("first", 50.0), stream="s"),
+            LaunchKernel(make("second", 1.0), stream="s"),
+        ])
+        cluster.add_host(0, program)
+        cluster.run()
+        assert completions[0][0] == "first"
+        assert completions[1][1] > completions[0][1]
+
+    def test_device_synchronize_waits_for_kernels(self):
+        cluster = build_cluster("single-3090")
+        marks = {}
+        program = HostProgram([
+            LaunchKernel(lambda host: SleepKernel("k", host.device, 100.0)),
+            DeviceSynchronize(),
+            CpuCompute(1.0, "after-sync"),
+        ])
+        host = cluster.add_host(0, program)
+        cluster.run()
+        assert host.now >= 100.0
+
+    def test_sync_blocks_later_launches(self):
+        """Kernels enqueued after a device sync cannot start before it clears."""
+        cluster = build_cluster("single-3090")
+        device = cluster.device(0)
+        second = {}
+
+        def make_second(host):
+            kernel = SleepKernel("second", host.device, 5.0)
+            second["kernel"] = kernel
+            return kernel
+
+        # Host A launches a long kernel then synchronizes; host B (same GPU)
+        # enqueues another kernel after the sync was issued.
+        cluster.add_host(0, HostProgram([
+            LaunchKernel(lambda host: SleepKernel("long", host.device, 200.0), stream="a"),
+            CpuCompute(1.0),
+            DeviceSynchronize(),
+        ]))
+        host_b = cluster.hosts["host-0"]
+        cluster.run()
+        assert device.sync_count == 1
+
+    def test_cpu_compute_advances_host_clock(self):
+        cluster = build_cluster("single-3090")
+        host = cluster.add_host(0, HostProgram([CpuCompute(123.0)]))
+        cluster.run()
+        assert host.now >= 123.0

@@ -1,0 +1,159 @@
+"""Tests for the NCCL baseline, including the four basic Fig. 1 situations."""
+
+import pytest
+
+from repro.common.errors import DeadlockError
+from repro.gpusim import HostProgram, build_cluster
+from repro.gpusim.host import DeviceSynchronize
+from repro.ncclsim import CudaAwareMpiModel, NcclBackend, grid_size_for
+from repro.ncclsim.program import launch_collective, wait_collective
+
+
+def _two_collective_cluster(max_blocks=None):
+    cluster = build_cluster("single-3090", max_resident_blocks=max_blocks)
+    backend = NcclBackend(cluster)
+    comm = backend.create_communicator(ranks=[0, 1])
+    op_a = comm.all_reduce(0, count=1024)
+    op_b = comm.all_reduce(1, count=1024)
+    return cluster, backend, comm, op_a, op_b
+
+
+def _program(backend, comm, rank, ordered_ops, streams=None, sync_after_first=False):
+    ops = []
+    for index, op in enumerate(ordered_ops):
+        stream = streams[index] if streams else "default"
+        ops.append(launch_collective(backend, op, rank, stream=stream))
+        if sync_after_first and index == 0:
+            ops.append(DeviceSynchronize())
+    ops += [wait_collective(op, comm.group_rank(rank)) for op in ordered_ops]
+    return HostProgram(ops)
+
+
+class TestGridSize:
+    def test_small_buffers_one_block(self):
+        assert grid_size_for(1 << 10) == 1
+
+    def test_large_buffers_more_blocks(self):
+        assert grid_size_for(32 << 20) > 1
+        assert grid_size_for(1 << 30) <= 4
+
+
+class TestBasicSituations:
+    def test_fig1a_consistent_order_completes(self):
+        cluster, backend, comm, op_a, op_b = _two_collective_cluster()
+        cluster.add_hosts([
+            _program(backend, comm, 0, [op_a, op_b]),
+            _program(backend, comm, 1, [op_a, op_b]),
+        ])
+        cluster.run()
+        assert op_a.fully_complete() and op_b.fully_complete()
+
+    def test_fig1c_single_queue_disorder_deadlocks(self):
+        cluster, backend, comm, op_a, op_b = _two_collective_cluster()
+        cluster.add_hosts([
+            _program(backend, comm, 0, [op_a, op_b]),
+            _program(backend, comm, 1, [op_b, op_a]),
+        ])
+        with pytest.raises(DeadlockError):
+            cluster.run()
+
+    def test_fig1b_disorder_with_streams_and_resources_completes(self):
+        cluster, backend, comm, op_a, op_b = _two_collective_cluster()
+        cluster.add_hosts([
+            _program(backend, comm, 0, [op_a, op_b], streams=["sa", "sb"]),
+            _program(backend, comm, 1, [op_b, op_a], streams=["sb", "sa"]),
+        ])
+        cluster.run()
+        assert op_a.fully_complete() and op_b.fully_complete()
+
+    def test_fig1c_resource_depletion_deadlocks(self):
+        cluster, backend, comm, op_a, op_b = _two_collective_cluster(max_blocks=1)
+        cluster.add_hosts([
+            _program(backend, comm, 0, [op_a, op_b], streams=["sa", "sb"]),
+            _program(backend, comm, 1, [op_b, op_a], streams=["sb", "sa"]),
+        ])
+        with pytest.raises(DeadlockError):
+            cluster.run()
+
+    def test_fig1d_sync_related_deadlock(self):
+        cluster, backend, comm, op_a, op_b = _two_collective_cluster()
+        cluster.add_hosts([
+            _program(backend, comm, 0, [op_a, op_b], streams=["sa", "sb"],
+                     sync_after_first=True),
+            _program(backend, comm, 1, [op_b, op_a], streams=["sb", "sa"],
+                     sync_after_first=True),
+        ])
+        with pytest.raises(DeadlockError):
+            cluster.run()
+
+
+class TestCollectiveExecution:
+    @pytest.mark.parametrize("kind,count", [
+        ("all_reduce", 1 << 18), ("all_gather", 1 << 16),
+        ("reduce_scatter", 1 << 18), ("broadcast", 1 << 18), ("reduce", 1 << 18),
+    ])
+    def test_all_kinds_complete_on_eight_gpus(self, kind, count):
+        cluster = build_cluster("single-3090")
+        backend = NcclBackend(cluster)
+        comm = backend.create_communicator()
+        op = getattr(comm, kind)(0, count)
+        programs = [
+            HostProgram([launch_collective(backend, op, rank),
+                         wait_collective(op, rank)])
+            for rank in range(8)
+        ]
+        cluster.add_hosts(programs)
+        cluster.run()
+        assert op.fully_complete()
+
+    def test_larger_buffers_take_longer(self):
+        def run(nbytes):
+            cluster = build_cluster("single-3090")
+            backend = NcclBackend(cluster)
+            comm = backend.create_communicator()
+            op = comm.all_reduce(0, count=nbytes // 4)
+            cluster.add_hosts([
+                HostProgram([launch_collective(backend, op, rank),
+                             wait_collective(op, rank)])
+                for rank in range(8)
+            ])
+            cluster.run()
+            return op.completion_time()
+
+        assert run(8 << 20) > run(64 << 10)
+
+    def test_cross_node_slower_than_single_node(self):
+        def run(topology, world):
+            cluster = build_cluster(topology)
+            backend = NcclBackend(cluster)
+            comm = backend.create_communicator(ranks=list(range(world)))
+            op = comm.all_reduce(0, count=(1 << 20) // 4)
+            cluster.add_hosts([
+                HostProgram([launch_collective(backend, op, rank),
+                             wait_collective(op, comm.group_rank(rank))])
+                for rank in range(world)
+            ])
+            cluster.run()
+            return op.completion_time()
+
+        assert run("dual-3090", 16) > run("single-3090", 8)
+
+    def test_rank_not_in_communicator_rejected(self):
+        cluster = build_cluster("single-3090")
+        backend = NcclBackend(cluster)
+        comm = backend.create_communicator(ranks=[0, 1])
+        with pytest.raises(Exception):
+            comm.group_rank(5)
+
+
+class TestMpiBaseline:
+    def test_nccl_beats_mpi_for_large_buffers(self):
+        mpi = CudaAwareMpiModel()
+        large = mpi.all_reduce_bandwidth_gbps(16 << 20, 8)
+        small = mpi.all_reduce_bandwidth_gbps(4 << 10, 8)
+        assert large > small  # MPI bandwidth still grows with size
+        assert mpi.all_reduce_time_us(16 << 20, 8) > mpi.all_reduce_time_us(1 << 20, 8)
+
+    def test_single_rank_is_trivial(self):
+        mpi = CudaAwareMpiModel()
+        assert mpi.all_reduce_time_us(1 << 20, 1) == pytest.approx(mpi.alpha_us)

@@ -1,0 +1,163 @@
+"""Tests for the CPU-orchestration baselines and the workload/trainer layer."""
+
+import pytest
+
+from repro.orchestration import (
+    BytePSOrchestrator,
+    HorovodOrchestrator,
+    KungFuOrchestrator,
+    MegatronManualOrchestrator,
+    OneFlowStaticSortOrchestrator,
+    make_orchestrator,
+)
+from repro.workloads import (
+    CollectiveItem,
+    ComputeItem,
+    ParallelPlan,
+    gpt2_model,
+    resnet50_model,
+    vit_model,
+)
+from repro.workloads.parallelism import _stage_buckets
+
+ORDERS = {
+    0: ["a", "b", "c"],
+    1: ["b", "a", "c"],
+    2: ["a", "c", "b"],
+}
+
+
+class TestOrchestrators:
+    @pytest.mark.parametrize("name", ["horovod", "byteps", "kungfu", "oneflow", "megatron"])
+    def test_factory_and_consistent_order(self, name):
+        orchestrator = make_orchestrator(name, world_size=3)
+        decision = orchestrator.coordinate(ORDERS)
+        assert sorted(decision.order) == ["a", "b", "c"]
+
+    def test_unknown_orchestrator_rejected(self):
+        with pytest.raises(ValueError):
+            make_orchestrator("bogus")
+
+    def test_horovod_charges_cycle_latency(self):
+        decision = HorovodOrchestrator(world_size=8).coordinate(ORDERS)
+        assert decision.per_collective_delay_us > 1000.0
+
+    def test_oneflow_static_is_cheap_at_steady_state(self):
+        orchestrator = OneFlowStaticSortOrchestrator(world_size=8)
+        first = orchestrator.coordinate(ORDERS, step_index=0)
+        second = orchestrator.coordinate(ORDERS, step_index=1)
+        assert first.one_time_delay_us > 0.0
+        assert second.one_time_delay_us == 0.0
+        assert second.per_collective_delay_us < 10.0
+
+    def test_kungfu_negotiates_once_then_enforces(self):
+        orchestrator = KungFuOrchestrator(world_size=3)
+        first = orchestrator.coordinate(ORDERS, step_index=0)
+        second = orchestrator.coordinate({0: ["a", "b", "c", "d"]}, step_index=1)
+        assert first.one_time_delay_us > 0.0
+        assert second.one_time_delay_us == 0.0
+        assert second.order[:3] == first.order
+        assert "d" in second.order
+
+    def test_megatron_uses_hardcoded_order_when_given(self):
+        orchestrator = MegatronManualOrchestrator(hardcoded_order=["c", "b", "a"])
+        decision = orchestrator.coordinate(ORDERS)
+        assert decision.order[:3] == ["c", "b", "a"]
+
+    def test_byteps_cross_node_cost_grows(self):
+        single = BytePSOrchestrator(world_size=8).coordinate(ORDERS)
+        double = BytePSOrchestrator(world_size=16).coordinate(ORDERS)
+        assert double.per_collective_delay_us >= single.per_collective_delay_us
+
+    def test_hybrid_support_flags(self):
+        assert OneFlowStaticSortOrchestrator.supports_hybrid
+        assert MegatronManualOrchestrator.supports_hybrid
+        assert not HorovodOrchestrator.supports_hybrid
+
+
+class TestModels:
+    def test_resnet50_parameter_count(self):
+        model = resnet50_model()
+        assert 20e6 < model.param_count < 35e6
+
+    def test_vit_large_bigger_than_base(self):
+        assert vit_model("large").param_count > vit_model("base").param_count
+
+    def test_gpt2_has_embedding_and_head(self):
+        model = gpt2_model("small")
+        names = [layer.name for layer in model.layers]
+        assert names[0] == "embedding" and names[-1] == "lm_head"
+
+    def test_unknown_variants_rejected(self):
+        with pytest.raises(ValueError):
+            vit_model("huge")
+        with pytest.raises(ValueError):
+            gpt2_model("xl")
+
+    def test_compute_time_scales_with_batch(self):
+        model = resnet50_model()
+        assert model.forward_time_us(64) > model.forward_time_us(32)
+        assert model.backward_time_us(32) > model.forward_time_us(32)
+
+    def test_gradient_buckets_cover_all_parameters(self):
+        model = resnet50_model()
+        buckets = model.gradient_buckets(8)
+        assert sum(params for _, params in buckets) == model.param_count
+
+
+class TestParallelPlan:
+    def test_world_size_and_batch(self):
+        plan = ParallelPlan(vit_model(), tp=2, dp=2, pp=2, microbatch_size=16,
+                            num_microbatches=2)
+        assert plan.world_size == 8
+        assert plan.global_batch_size == 64
+
+    def test_rank_coordinate_roundtrip(self):
+        plan = ParallelPlan(vit_model(), tp=2, dp=2, pp=2)
+        for rank in range(plan.world_size):
+            pp_index, dp_index, tp_index = plan.coordinates(rank)
+            assert plan.rank(pp_index, dp_index, tp_index) == rank
+
+    def test_dp_schedule_has_gradient_allreduces(self):
+        plan = ParallelPlan(resnet50_model(), dp=4, microbatch_size=32, grad_buckets=8)
+        items = plan.collective_items(0)
+        assert items
+        assert all(item.kind.value == "all_reduce" for item in items)
+        assert sum(item.count for item in items) == pytest.approx(
+            resnet50_model().param_count, rel=0.01)
+
+    def test_tp_schedule_has_activation_allreduces(self):
+        plan = ParallelPlan(vit_model(), tp=4, microbatch_size=8)
+        keys = {item.key[0] for item in plan.collective_items(0)}
+        assert "tp-fwd" in keys and "tp-bwd" in keys
+
+    def test_pp_schedule_has_send_recv(self):
+        plan = ParallelPlan(gpt2_model(), tp=1, dp=1, pp=2, microbatch_size=4)
+        kinds = {item.kind.value for item in plan.collective_items(0)}
+        assert "send_recv" in kinds
+
+    def test_group_members_generate_identical_collective_keys(self):
+        plan = ParallelPlan(vit_model(), tp=2, dp=2, pp=1, microbatch_size=8,
+                            grad_buckets=4)
+        for item in plan.collective_items(0):
+            for member in item.group_ranks:
+                member_keys = {other.key for other in plan.collective_items(member)}
+                assert item.key in member_keys
+
+    def test_schedule_mixes_compute_and_collectives(self):
+        plan = ParallelPlan(resnet50_model(), dp=2, microbatch_size=16, grad_buckets=4)
+        schedule = plan.iteration_schedule(0)
+        assert any(isinstance(item, ComputeItem) for item in schedule)
+        assert any(isinstance(item, CollectiveItem) for item in schedule)
+
+    def test_stage_buckets_subset_of_stage(self):
+        model = gpt2_model()
+        plan = ParallelPlan(model, pp=2)
+        stage = plan.stage_layers(0)
+        buckets = _stage_buckets(model, stage, 4)
+        names = {layer.name for layers, _ in buckets for layer in layers}
+        assert names <= {layer.name for layer in stage}
+
+    def test_invalid_parallel_sizes_rejected(self):
+        with pytest.raises(Exception):
+            ParallelPlan(vit_model(), tp=0)

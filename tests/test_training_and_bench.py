@@ -1,0 +1,141 @@
+"""Integration tests: the trainer over both backends, and the bench drivers."""
+
+import pytest
+
+from repro.core import DfcclConfig
+from repro.gpusim import build_cluster
+from repro.orchestration import make_orchestrator
+from repro.workloads import (
+    DfcclTrainingBackend,
+    NcclTrainingBackend,
+    ParallelPlan,
+    TrainingRun,
+    resnet50_model,
+    vit_model,
+)
+
+CHUNK = 512 << 10
+
+
+def small_dp_plan(dp=2, batch=32, buckets=4):
+    return ParallelPlan(resnet50_model(), dp=dp, microbatch_size=batch,
+                        grad_buckets=buckets)
+
+
+class TestTrainingRun:
+    def test_dfccl_dp_training_completes(self):
+        cluster = build_cluster("single-3090")
+        backend = DfcclTrainingBackend(cluster, DfcclConfig(chunk_bytes=CHUNK))
+        result = TrainingRun(cluster, small_dp_plan(), backend, iterations=3).run()
+        assert result.iterations == 2
+        assert result.throughput_samples_per_s > 0
+        assert len(result.iteration_times_us) == 2
+
+    def test_nccl_orchestrated_dp_training_completes(self):
+        cluster = build_cluster("single-3090")
+        backend = NcclTrainingBackend(cluster, make_orchestrator("oneflow", world_size=2),
+                                      chunk_bytes=CHUNK)
+        result = TrainingRun(cluster, small_dp_plan(), backend, iterations=3).run()
+        assert result.throughput_samples_per_s > 0
+
+    def test_dfccl_comparable_to_static_sorting(self):
+        """Fig. 10 shape: DFCCL within a few percent of statically sorted NCCL."""
+        plan = small_dp_plan(dp=4, batch=48, buckets=6)
+        cluster_a = build_cluster("single-3090")
+        dfccl = TrainingRun(cluster_a, plan,
+                            DfcclTrainingBackend(cluster_a, DfcclConfig(chunk_bytes=CHUNK)),
+                            iterations=3).run()
+        cluster_b = build_cluster("single-3090")
+        static = TrainingRun(cluster_b, plan,
+                             NcclTrainingBackend(cluster_b,
+                                                 make_orchestrator("oneflow", world_size=4),
+                                                 chunk_bytes=CHUNK),
+                             iterations=3).run()
+        ratio = dfccl.throughput_samples_per_s / static.throughput_samples_per_s
+        assert 0.9 < ratio < 1.15
+
+    def test_horovod_slower_than_dfccl(self):
+        """Fig. 10 shape: coordination overhead costs Horovod throughput."""
+        plan = small_dp_plan(dp=4, batch=48, buckets=12)
+        cluster_a = build_cluster("single-3090")
+        dfccl = TrainingRun(cluster_a, plan,
+                            DfcclTrainingBackend(cluster_a, DfcclConfig(chunk_bytes=CHUNK)),
+                            iterations=3).run()
+        cluster_b = build_cluster("single-3090")
+        horovod = TrainingRun(cluster_b, plan,
+                              NcclTrainingBackend(cluster_b,
+                                                  make_orchestrator("horovod", world_size=4),
+                                                  chunk_bytes=CHUNK),
+                              iterations=3).run()
+        assert dfccl.throughput_samples_per_s > horovod.throughput_samples_per_s
+
+    def test_hybrid_parallel_training_completes(self):
+        plan = ParallelPlan(vit_model(), tp=2, dp=2, pp=2, microbatch_size=16,
+                            num_microbatches=1, grad_buckets=4)
+        cluster = build_cluster("single-3090")
+        backend = DfcclTrainingBackend(cluster, DfcclConfig(chunk_bytes=CHUNK))
+        result = TrainingRun(cluster, plan, backend, iterations=2, warmup=1).run()
+        assert result.throughput_samples_per_s > 0
+
+    def test_result_statistics(self):
+        cluster = build_cluster("single-3090")
+        backend = DfcclTrainingBackend(cluster, DfcclConfig(chunk_bytes=CHUNK))
+        result = TrainingRun(cluster, small_dp_plan(), backend, iterations=4).run()
+        assert result.iteration_time_cv() >= 0.0
+        curve = result.cumulative_mean_throughput()
+        assert len(curve) == result.iterations
+
+
+class TestBenchDrivers:
+    def test_measure_collective_both_backends(self):
+        from repro.bench import measure_collective
+        nccl = measure_collective("nccl", "all_reduce", 64 << 10, world_size=4)
+        dfccl = measure_collective("dfccl", "all_reduce", 64 << 10, world_size=4)
+        assert nccl["latency_us"] > 0 and dfccl["latency_us"] > 0
+        # Comparable latency: within a small constant factor of each other.
+        assert dfccl["latency_us"] < 4 * nccl["latency_us"]
+
+    def test_bandwidth_grows_with_buffer_size(self):
+        from repro.bench import measure_collective
+        small = measure_collective("dfccl", "all_reduce", 16 << 10, world_size=4)
+        large = measure_collective("dfccl", "all_reduce", 4 << 20, world_size=4)
+        assert large["bandwidth_gbps"] > small["bandwidth_gbps"]
+
+    def test_workload_independent_overheads(self):
+        from repro.bench import workload_independent_overheads
+        report = workload_independent_overheads(world_size=2)
+        variants = {row["cq_variant"]: row["cqe_write_us"] for row in report["time_overheads"]}
+        assert variants["vanilla"] > variants["optimized-ring"] > variants["optimized-cas"]
+        assert report["memory_overheads"]["shared_bytes_per_block"] > 0
+
+    def test_sec61_programs(self):
+        from repro.bench import sec61_random_order_program, sec61_sync_program
+        nccl = sec61_random_order_program("nccl", num_gpus=4, num_collectives=4)
+        dfccl = sec61_random_order_program("dfccl", num_gpus=4, num_collectives=4,
+                                           iterations=1)
+        assert nccl["deadlocked"] is True
+        assert dfccl["deadlocked"] is False
+        sync_nccl = sec61_sync_program("nccl", num_gpus=4, num_collectives=3)
+        sync_dfccl = sec61_sync_program("dfccl", num_gpus=4, num_collectives=3,
+                                        iterations=1)
+        assert sync_nccl["deadlocked"] is True
+        assert sync_dfccl["deadlocked"] is False
+
+    def test_table1_row_runs(self):
+        from repro.bench import run_table1_row
+        row = run_table1_row("sq-free-1x8-1e-5", rounds=30, collective_scale=0.2)
+        assert 0.0 <= row["measured_ratio"] <= 1.0
+        assert row["paper_ratio"] == pytest.approx(0.0121)
+
+    def test_nccl_vs_mpi_large_buffer_speedup(self):
+        from repro.bench import nccl_vs_mpi_comparison
+        rows = nccl_vs_mpi_comparison(world_size=4, sizes=[4 << 10, 4 << 20])
+        large = [row for row in rows if row["nbytes"] == 4 << 20][0]
+        assert large["speedup"] > 1.0
+
+    def test_reporting_helpers(self):
+        from repro.bench import format_series, format_table
+        table = format_table([{"a": 1, "b": 2.5}], title="demo")
+        assert "demo" in table and "2.500" in table
+        series = format_series([(1, 2.0), (2, 4.0)], "x", "y")
+        assert "4.000" in series
