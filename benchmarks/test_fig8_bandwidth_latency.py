@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench import format_table
-from repro.bench.collective_perf import measure_collective
+from repro.bench.collective_perf import measure_collective, sweep_ring_vs_tree
 
 FIG8_CASES = {
     "fig8a-broadcast-8gpu-3080ti": {"kind": "broadcast", "world": 8,
@@ -48,3 +48,35 @@ def test_fig8_bandwidth_latency(benchmark, case):
         dfccl_lat = next(r["latency_us"] for r in rows
                          if r["backend"] == "dfccl" and r["nbytes"] == nbytes)
         assert dfccl_lat < 4.0 * nccl_lat
+
+
+def test_fig8_ring_vs_tree_crossover(benchmark):
+    """Ring-vs-tree all-reduce crossover on the 16-GPU two-server testbed.
+
+    Trees win the latency-bound small-message regime, rings the bandwidth
+    regime; ``algorithm="auto"`` must land on the winner on both sides.
+    """
+    sizes = [4 << 10, 16 << 10, 64 << 10, 1 << 20, 4 << 20]
+
+    def run():
+        return sweep_ring_vs_tree(kind="all_reduce", world_size=16,
+                                  topology="dual-3090", sizes=sizes,
+                                  iterations=2)
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(format_table(rows, columns=["nbytes", "ring_latency_us",
+                                      "tree_latency_us", "auto_algorithm",
+                                      "winner"],
+                       title="Fig. 8 companion (ring vs tree, 16 GPU / 2 nodes)"))
+
+    by_size = {row["nbytes"]: row for row in rows}
+    # Tree wins every small-message point (<= 64 KiB).
+    for nbytes in (4 << 10, 16 << 10, 64 << 10):
+        row = by_size[nbytes]
+        assert row["tree_latency_us"] < row["ring_latency_us"]
+    # Ring wins the bandwidth-bound regime.
+    assert by_size[4 << 20]["ring_latency_us"] < by_size[4 << 20]["tree_latency_us"]
+    # The topology-aware selector tracks the winner on both sides.
+    for nbytes in (4 << 10, 16 << 10, 64 << 10, 4 << 20):
+        assert by_size[nbytes]["auto_algorithm"] == by_size[nbytes]["winner"]

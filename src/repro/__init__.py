@@ -1,0 +1,17 @@
+"""Simulation-based reproduction of DFCCL (deadlock-free collective
+communication for GPUs).
+
+Subpackages:
+
+* :mod:`repro.gpusim` — discrete-event GPU cluster simulator;
+* :mod:`repro.collectives` — primitive sequences (ring and tree algorithms),
+  channels, cost model and the topology-aware algorithm selector;
+* :mod:`repro.ncclsim` — the NCCL-style baseline backend;
+* :mod:`repro.core` — the DFCCL daemon-kernel backend;
+* :mod:`repro.deadlock` — deadlock scenario construction and analysis;
+* :mod:`repro.orchestration`, :mod:`repro.workloads` — framework scheduling
+  models and training workloads;
+* :mod:`repro.bench` — the experiments behind the paper's figures and tables.
+"""
+
+__version__ = "0.1.0"

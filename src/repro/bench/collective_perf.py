@@ -27,10 +27,12 @@ def _kind_from_name(name):
 
 def measure_collective(backend="dfccl", kind="all_reduce", nbytes=1 << 20,
                        world_size=8, topology="single-3090", iterations=3,
-                       chunk_bytes=128 << 10):
+                       chunk_bytes=128 << 10, algorithm="ring"):
     """Measure one collective's end-to-end latency, core time and bandwidth.
 
-    Returns a dict with mean values over ``iterations`` timed runs.
+    ``algorithm`` is ``"ring"``, ``"tree"`` or ``"auto"`` (topology-aware
+    selection).  Returns a dict with mean values over ``iterations`` timed
+    runs; the ``algorithm`` key reports the resolved algorithm.
     """
     kind = _kind_from_name(kind)
     count = max(1, nbytes // 4)
@@ -41,14 +43,17 @@ def measure_collective(backend="dfccl", kind="all_reduce", nbytes=1 << 20,
         raise ValueError(f"topology {topology} has only {cluster.world_size} GPUs")
 
     if backend == "dfccl":
-        return _measure_dfccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes)
+        return _measure_dfccl(cluster, kind, count, nbytes, ranks, iterations,
+                              chunk_bytes, algorithm)
     if backend == "nccl":
-        return _measure_nccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes)
+        return _measure_nccl(cluster, kind, count, nbytes, ranks, iterations,
+                             chunk_bytes, algorithm)
     raise ValueError(f"unknown backend {backend!r}")
 
 
-def _measure_dfccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes):
-    config = DfcclConfig(chunk_bytes=chunk_bytes)
+def _measure_dfccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes,
+                   algorithm="ring"):
+    config = DfcclConfig(chunk_bytes=chunk_bytes, algorithm=algorithm)
     dfccl = DfcclBackend(cluster, config)
     dfccl.init_all_ranks(ranks)
     spec = CollectiveSpec(kind, count)
@@ -80,6 +85,7 @@ def _measure_dfccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes)
         "backend": "dfccl",
         "kind": kind.value,
         "nbytes": nbytes,
+        "algorithm": coll.algorithm,
         "latency_us": latency,
         "core_time_us": core,
         "bandwidth_gbps": nbytes / (latency * 1e3),
@@ -87,8 +93,9 @@ def _measure_dfccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes)
     }
 
 
-def _measure_nccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes):
-    nccl = NcclBackend(cluster, chunk_bytes=chunk_bytes)
+def _measure_nccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes,
+                  algorithm="ring"):
+    nccl = NcclBackend(cluster, chunk_bytes=chunk_bytes, algorithm=algorithm)
     comm = nccl.create_communicator(ranks=ranks)
     spec = CollectiveSpec(kind, count)
     ops_by_iter = [comm.collective(index, spec) for index in range(iterations)]
@@ -122,6 +129,7 @@ def _measure_nccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes):
         "backend": "nccl",
         "kind": kind.value,
         "nbytes": nbytes,
+        "algorithm": ops_by_iter[0].algorithm,
         "latency_us": latency,
         "core_time_us": statistics.fmean(cores),
         "bandwidth_gbps": nbytes / (latency * 1e3),
@@ -140,6 +148,43 @@ def sweep_bandwidth_latency(kind="all_reduce", world_size=8, topology="single-30
             result = measure_collective(backend, kind, nbytes, world_size, topology,
                                         iterations=iterations)
             rows.append(result)
+    return rows
+
+
+#: Buffer sizes for the ring-vs-tree crossover sweep (1 KB – 4 MB).
+RING_TREE_SIZES = [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20]
+
+
+def sweep_ring_vs_tree(kind="all_reduce", world_size=16, topology="dual-3090",
+                       sizes=None, iterations=2, backend="nccl"):
+    """Fig. 8 companion: ring vs. tree latency and the ``auto`` selection.
+
+    For every buffer size the collective is simulated with the ring and the
+    tree algorithm plus ``algorithm="auto"``; each row reports both latencies,
+    the measured winner and the algorithm ``auto`` resolved to, so the
+    crossover and the selector's accuracy land in the Fig. 8 reporting.
+    """
+    if sizes is None:
+        sizes = RING_TREE_SIZES
+    rows = []
+    for nbytes in sizes:
+        measured = {
+            algorithm: measure_collective(backend, kind, nbytes, world_size,
+                                          topology, iterations=iterations,
+                                          algorithm=algorithm)
+            for algorithm in ("ring", "tree", "auto")
+        }
+        ring_latency = measured["ring"]["latency_us"]
+        tree_latency = measured["tree"]["latency_us"]
+        rows.append({
+            "kind": _kind_from_name(kind).value,
+            "nbytes": nbytes,
+            "ring_latency_us": ring_latency,
+            "tree_latency_us": tree_latency,
+            "auto_latency_us": measured["auto"]["latency_us"],
+            "auto_algorithm": measured["auto"]["algorithm"],
+            "winner": "tree" if tree_latency < ring_latency else "ring",
+        })
     return rows
 
 

@@ -23,13 +23,22 @@ from repro.collectives.primitives import (
     PrimitiveExecutor,
     PrimitiveOutcome,
 )
+from repro.collectives.selector import AlgorithmChoice, AlgorithmSelector
 from repro.collectives.sequences import (
+    ALGORITHM_RING,
+    ALGORITHM_TREE,
+    binary_tree_relations,
+    binomial_tree_relations,
     chunk_loops,
     generate_primitive_sequence,
     primitive_count,
 )
 
 __all__ = [
+    "ALGORITHM_RING",
+    "ALGORITHM_TREE",
+    "AlgorithmChoice",
+    "AlgorithmSelector",
     "Channel",
     "ChunkMessage",
     "Communicator",
@@ -38,6 +47,8 @@ __all__ = [
     "Primitive",
     "PrimitiveExecutor",
     "PrimitiveOutcome",
+    "binary_tree_relations",
+    "binomial_tree_relations",
     "chunk_loops",
     "generate_primitive_sequence",
     "primitive_count",

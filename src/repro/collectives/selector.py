@@ -1,0 +1,191 @@
+"""Topology-aware ring-vs-tree algorithm selection.
+
+Mirrors NCCL's tuner: for every registered collective the selector predicts
+the alpha/beta cost of the ring and tree algorithms from the message size, the
+group size and the link parameters of the devices actually involved, and picks
+the cheaper one.  Small messages on large groups are latency-bound and go to
+the tree (``O(log n)`` alpha terms); large messages are bandwidth-bound and go
+to the ring (bandwidth-optimal ``2(n-1)/n`` byte volume).
+
+The predicted costs share their structure with the simulator's primitive cost
+model — a systolic ring advances at the pace of its slowest link, the
+serialized double binary tree pays every byte several times over the
+bottleneck link — and the constants are calibrated against the simulated
+dual-server testbed, the same way NCCL's tuner bakes in measured hardware
+constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import CollectiveKind, LinkType
+from repro.collectives.cost import DEFAULT_COST_MODEL
+from repro.collectives.sequences import (
+    ALGORITHM_RING,
+    ALGORITHM_TREE,
+    DEFAULT_CHUNK_BYTES,
+    TREE_KINDS,
+)
+
+#: Values accepted by the ``algorithm`` configuration knob.
+ALGORITHM_CHOICES = ("auto", ALGORITHM_RING, ALGORITHM_TREE)
+
+#: Bottleneck-bytes multiplier of the serialized double binary tree all-reduce
+#: relative to a single traversal (up + down phases, two trees, interior ranks
+#: serving both children through one executor).
+_TREE_ALLREDUCE_BW_FACTOR = 8.5
+
+#: Critical-path hops of a binary/binomial tree as a multiple of its depth
+#: (fan-in/fan-out serialization at interior ranks).
+_TREE_HOP_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class LinkParameters:
+    """Aggregate link parameters of a device group's ring embedding."""
+
+    alpha_sum_us: float
+    alpha_max_us: float
+    beta_min_gbps: float
+    #: Sum over ring edges of the per-byte transfer time (us/byte).
+    inv_beta_us_per_byte: float
+
+    @property
+    def bytes_per_us(self):
+        return self.beta_min_gbps * 1e3
+
+
+@dataclass(frozen=True)
+class AlgorithmChoice:
+    """Outcome of one selection: the winner plus both predicted costs."""
+
+    algorithm: str
+    ring_cost_us: float
+    tree_cost_us: float
+
+
+class AlgorithmSelector:
+    """Picks ring vs. tree per collective from size, group and topology."""
+
+    def __init__(self, interconnect=None, cost_model=None,
+                 chunk_bytes=DEFAULT_CHUNK_BYTES):
+        self.interconnect = interconnect
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.chunk_bytes = chunk_bytes
+
+    # -- link parameters -------------------------------------------------------
+
+    def link_parameters(self, device_ids):
+        """Ring-edge link aggregates for a device group.
+
+        When no topology information is available, falls back to the PIX
+        domain defaults (the flat single-server case).
+        """
+        size = len(device_ids or ())
+        if self.interconnect is None or size < 2:
+            alpha = LinkType.SHM_PIX.alpha_us
+            beta = LinkType.SHM_PIX.beta_gbps
+            edges = max(2, size)
+            return LinkParameters(alpha * edges, alpha, beta,
+                                  edges / (beta * 1e3))
+        alphas = []
+        inv_beta = 0.0
+        betas = []
+        ring = list(device_ids)
+        for dev_a, dev_b in zip(ring, ring[1:] + ring[:1]):
+            link = self.interconnect.link(dev_a, dev_b)
+            alphas.append(link.alpha_us)
+            betas.append(link.beta_gbps)
+            inv_beta += 1.0 / (link.beta_gbps * 1e3)
+        return LinkParameters(sum(alphas), max(alphas), min(betas), inv_beta)
+
+    # -- predicted costs -------------------------------------------------------
+
+    def predicted_cost_us(self, algorithm, kind, nbytes, group_size, device_ids=None,
+                          params=None):
+        """Alpha/beta cost estimate of one algorithm for one collective call.
+
+        ``params`` may carry precomputed :class:`LinkParameters` to avoid
+        re-resolving every ring edge when costing several algorithms for the
+        same group.
+        """
+        if group_size <= 1:
+            return 0.0
+        if params is None:
+            params = self.link_parameters(device_ids)
+        overhead = self.cost_model.primitive_overhead_us
+        hop = overhead + params.alpha_max_us
+        n = group_size
+        depth = max(1, math.ceil(math.log2(n + 1)))
+        loop_bytes = min(nbytes, self.chunk_bytes)
+        nloops = max(1, math.ceil(nbytes / self.chunk_bytes))
+
+        if algorithm == ALGORITHM_RING:
+            if kind is CollectiveKind.ALL_REDUCE:
+                # Systolic ring: 2(n-1) lock-steps at the slowest link's pace.
+                return 2 * (n - 1) * (hop + (nbytes / n) / params.bytes_per_us)
+            if kind in (CollectiveKind.ALL_GATHER, CollectiveKind.REDUCE_SCATTER):
+                return (n - 1) * (hop + (nbytes / n) / params.bytes_per_us)
+            # Chain: pipeline fill along every edge, then one loop per slowest
+            # hop in steady state.
+            fraction = (n - 1) / n
+            fill = (
+                (n - 1) * overhead
+                + params.alpha_sum_us * fraction
+                + loop_bytes * params.inv_beta_us_per_byte * fraction
+            )
+            steady = (nloops - 1) * (hop + loop_bytes / params.bytes_per_us)
+            return fill + steady
+        if algorithm == ALGORITHM_TREE:
+            if kind not in TREE_KINDS:
+                return self.predicted_cost_us(ALGORITHM_RING, kind, nbytes,
+                                              group_size, device_ids, params=params)
+            if kind is CollectiveKind.ALL_REDUCE:
+                alpha_term = _TREE_HOP_FACTOR * depth * hop
+                bw_term = _TREE_ALLREDUCE_BW_FACTOR * nbytes / params.bytes_per_us
+                return alpha_term + bw_term
+            per_loop = hop + loop_bytes / params.bytes_per_us
+            if kind is CollectiveKind.BROADCAST:
+                # The root forwards the full payload to each of its ~depth
+                # children serially, so steady state pays ~depth per loop.
+                fill = _TREE_HOP_FACTOR * depth * per_loop
+                steady = (nloops - 1) * depth * per_loop
+                return fill + steady
+            # Reduce: fan-in is cheap (children send concurrently, the parent
+            # only pays the local reduce), so the tree is near depth hops.
+            fill = 0.75 * depth * per_loop
+            steady = (nloops - 1) * 1.5 * per_loop
+            return fill + steady
+        raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+
+    # -- selection -------------------------------------------------------------
+
+    def choose(self, kind, nbytes, group_size, device_ids=None):
+        """Compare both algorithms and return an :class:`AlgorithmChoice`."""
+        params = self.link_parameters(device_ids)
+        ring_cost = self.predicted_cost_us(ALGORITHM_RING, kind, nbytes,
+                                           group_size, params=params)
+        if kind not in TREE_KINDS or group_size <= 2:
+            return AlgorithmChoice(ALGORITHM_RING, ring_cost, float("inf"))
+        tree_cost = self.predicted_cost_us(ALGORITHM_TREE, kind, nbytes,
+                                           group_size, params=params)
+        winner = ALGORITHM_TREE if tree_cost < ring_cost else ALGORITHM_RING
+        return AlgorithmChoice(winner, ring_cost, tree_cost)
+
+    def select(self, kind, nbytes, group_size, device_ids=None):
+        """The winning algorithm name for one collective call."""
+        return self.choose(kind, nbytes, group_size, device_ids).algorithm
+
+    def resolve(self, algorithm, kind, nbytes, group_size, device_ids=None):
+        """Resolve a config knob value (``auto``/``ring``/``tree``) to a
+        concrete algorithm for :func:`generate_primitive_sequence`."""
+        if algorithm not in ALGORITHM_CHOICES:
+            raise ConfigurationError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHM_CHOICES}"
+            )
+        if algorithm == "auto":
+            return self.select(kind, nbytes, group_size, device_ids)
+        return algorithm

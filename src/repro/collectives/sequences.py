@@ -1,9 +1,19 @@
-"""Per-rank primitive sequence generation for the Ring algorithm.
+"""Per-rank primitive sequence generation for the Ring and Tree algorithms.
 
 Every common collective (all-reduce, all-gather, reduce-scatter, reduce,
 broadcast) is compiled into a sequence of primitives for each participating
 rank, exactly as described in Sec. 4.1: the input is divided into regular
 chunks and the rank executes its primitive sequence once per chunk loop.
+
+Two algorithm families are supported, mirroring NCCL:
+
+* ``ring`` — the default: bandwidth-optimal ring (all-reduce, all-gather,
+  reduce-scatter) and chain variants (broadcast, reduce);
+* ``tree`` — latency-optimal trees for the small-message regime: a double
+  binary tree for all-reduce (reduce up + broadcast down over two
+  complementary trees, each carrying half the payload) and binomial trees for
+  broadcast and reduce.  All-gather and reduce-scatter have no tree variant
+  (NCCL likewise only runs them on rings) and fall back to the ring.
 """
 
 from __future__ import annotations
@@ -26,6 +36,24 @@ from repro.collectives.primitives import (
 #: Default chunk size (bytes) per ring slice, matching NCCL's Simple protocol
 #: slice granularity order of magnitude.
 DEFAULT_CHUNK_BYTES = 128 << 10
+
+#: Algorithm names accepted by :func:`generate_primitive_sequence`.
+ALGORITHM_RING = "ring"
+ALGORITHM_TREE = "tree"
+ALGORITHMS = (ALGORITHM_RING, ALGORITHM_TREE)
+
+#: Collectives that have a dedicated tree variant.
+TREE_KINDS = (
+    CollectiveKind.ALL_REDUCE,
+    CollectiveKind.BROADCAST,
+    CollectiveKind.REDUCE,
+)
+
+#: Below this payload the double binary tree sends everything through one
+#: tree: the per-rank executor serializes the two trees, so splitting a
+#: latency-bound message across both would double the alpha cost for no
+#: bandwidth gain.
+TREE_SPLIT_MIN_BYTES = 256 << 10
 
 
 def chunk_loops(nbytes, group_size, chunk_bytes=DEFAULT_CHUNK_BYTES, per_rank_slices=True):
@@ -165,6 +193,145 @@ def _chain_loop(group_rank, group_size, loop, nbytes, root, reducing):
                       nbytes=nbytes, send_peer=send_peer, recv_peer=recv_peer)]
 
 
+# -- tree structures ------------------------------------------------------------
+
+
+def binary_tree_relations(group_rank, group_size, mirror=False):
+    """Parent and children of ``group_rank`` in a heap-shaped binary tree.
+
+    With ``mirror=True`` the tree is the mirror image (rank ``r`` occupies the
+    heap position of rank ``n-1-r``): the second tree of the double binary
+    tree, in which the leaves of the first tree become interior ranks.
+    """
+    index = (group_size - 1 - group_rank) if mirror else group_rank
+
+    def to_rank(heap_index):
+        return (group_size - 1 - heap_index) if mirror else heap_index
+
+    parent = to_rank((index - 1) // 2) if index > 0 else None
+    children = [to_rank(c) for c in (2 * index + 1, 2 * index + 2) if c < group_size]
+    return parent, children
+
+
+def binomial_tree_relations(group_rank, group_size, root=0):
+    """Parent and children of ``group_rank`` in a binomial tree rooted at ``root``.
+
+    Children are ordered largest subtree first, which is the order a binomial
+    broadcast forwards them in.
+    """
+    rel = (group_rank - root) % group_size
+    if rel == 0:
+        parent = None
+    else:
+        parent = ((rel ^ (1 << (rel.bit_length() - 1))) + root) % group_size
+    children = []
+    k = rel.bit_length()
+    while rel + (1 << k) < group_size:
+        children.append(((rel + (1 << k)) + root) % group_size)
+        k += 1
+    children.reverse()
+    return parent, children
+
+
+def _tree_reduce_phase(parent, children, loop, step, nbytes):
+    """Reduce-toward-root primitives of one rank: recv-reduce each child, then
+    forward the partial result to the parent (fused with the last reduce)."""
+    primitives = []
+    if not children:
+        primitives.append(
+            Primitive("send", PRIM_SEND, loop, step, chunk_index=loop, nbytes=nbytes,
+                      send_peer=parent)
+        )
+        return primitives, step + 1
+    for child in children[:-1]:
+        primitives.append(
+            Primitive("recvReduceCopy", PRIM_RECV_REDUCE_COPY, loop, step,
+                      chunk_index=loop, nbytes=nbytes, recv_peer=child)
+        )
+        step += 1
+    last = children[-1]
+    if parent is None:
+        primitives.append(
+            Primitive("recvReduceCopy", PRIM_RECV_REDUCE_COPY, loop, step,
+                      chunk_index=loop, nbytes=nbytes, recv_peer=last)
+        )
+    else:
+        primitives.append(
+            Primitive("recvReduceSend", PRIM_RECV_REDUCE_SEND, loop, step,
+                      chunk_index=loop, nbytes=nbytes,
+                      send_peer=parent, recv_peer=last)
+        )
+    return primitives, step + 1
+
+
+def _tree_broadcast_phase(parent, children, loop, step, nbytes):
+    """Broadcast-from-root primitives of one rank: receive from the parent and
+    forward to every child (fused with the first send)."""
+    primitives = []
+    if parent is None:
+        for child in children:
+            primitives.append(
+                Primitive("send", PRIM_SEND, loop, step, chunk_index=loop,
+                          nbytes=nbytes, send_peer=child)
+            )
+            step += 1
+        return primitives, step
+    if not children:
+        primitives.append(
+            Primitive("recv", PRIM_RECV, loop, step, chunk_index=loop, nbytes=nbytes,
+                      recv_peer=parent)
+        )
+        return primitives, step + 1
+    primitives.append(
+        Primitive("recvCopySend", PRIM_RECV_COPY_SEND, loop, step, chunk_index=loop,
+                  nbytes=nbytes, send_peer=children[0], recv_peer=parent)
+    )
+    step += 1
+    for child in children[1:]:
+        primitives.append(
+            Primitive("send", PRIM_SEND, loop, step, chunk_index=loop, nbytes=nbytes,
+                      send_peer=child)
+        )
+        step += 1
+    return primitives, step
+
+
+def _all_reduce_tree_loop(group_rank, group_size, loop, nbytes):
+    """Double binary tree all-reduce: reduce up then broadcast down each tree.
+
+    Large payloads are split in half across the two complementary trees so
+    that interior/leaf duties balance; small payloads travel through the first
+    tree only (see :data:`TREE_SPLIT_MIN_BYTES`).
+    """
+    if nbytes >= TREE_SPLIT_MIN_BYTES and group_size > 2:
+        halves = [nbytes - nbytes // 2, nbytes // 2]
+    else:
+        halves = [nbytes]
+    primitives = []
+    step = 0
+    for tree_index, half in enumerate(halves):
+        parent, children = binary_tree_relations(
+            group_rank, group_size, mirror=(tree_index == 1)
+        )
+        up, step = _tree_reduce_phase(parent, children, loop, step, half)
+        down, step = _tree_broadcast_phase(parent, children, loop, step, half)
+        primitives.extend(up)
+        primitives.extend(down)
+    return primitives
+
+
+def _broadcast_tree_loop(group_rank, group_size, loop, nbytes, root):
+    parent, children = binomial_tree_relations(group_rank, group_size, root)
+    primitives, _ = _tree_broadcast_phase(parent, children, loop, 0, nbytes)
+    return primitives
+
+
+def _reduce_tree_loop(group_rank, group_size, loop, nbytes, root):
+    parent, children = binomial_tree_relations(group_rank, group_size, root)
+    primitives, _ = _tree_reduce_phase(parent, children, loop, 0, nbytes)
+    return primitives
+
+
 def generate_primitive_sequence(
     kind,
     group_rank,
@@ -172,12 +339,20 @@ def generate_primitive_sequence(
     nbytes,
     chunk_bytes=DEFAULT_CHUNK_BYTES,
     root=0,
+    algorithm=ALGORITHM_RING,
 ):
     """Generate the full primitive sequence of one rank for one collective call.
 
     ``nbytes`` is the collective's input payload in bytes (per-rank input for
     all-gather, total for the others), matching :class:`CollectiveSpec.nbytes`.
+    ``algorithm`` selects the ring or tree family; ``"auto"`` must be resolved
+    to a concrete algorithm by :class:`repro.collectives.selector.AlgorithmSelector`
+    before this layer.
     """
+    if algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
     if group_size < 1:
         raise ConfigurationError("group_size must be at least 1")
     if not 0 <= group_rank < group_size:
@@ -185,7 +360,8 @@ def generate_primitive_sequence(
     if group_size == 1:
         return [Primitive("copy", PRIM_COPY, 0, 0, chunk_index=0, nbytes=nbytes)]
 
-    sliced = kind in (
+    tree = algorithm == ALGORITHM_TREE and kind in TREE_KINDS
+    sliced = not tree and kind in (
         CollectiveKind.ALL_REDUCE,
         CollectiveKind.REDUCE_SCATTER,
         CollectiveKind.ALL_GATHER,
@@ -195,15 +371,29 @@ def generate_primitive_sequence(
     sequence = []
     for loop, loop_nbytes in enumerate(loops):
         if kind is CollectiveKind.ALL_REDUCE:
-            sequence.extend(_all_reduce_loop(group_rank, group_size, loop, loop_nbytes))
+            if tree:
+                sequence.extend(_all_reduce_tree_loop(group_rank, group_size, loop,
+                                                      loop_nbytes))
+            else:
+                sequence.extend(_all_reduce_loop(group_rank, group_size, loop, loop_nbytes))
         elif kind is CollectiveKind.ALL_GATHER:
             sequence.extend(_all_gather_loop(group_rank, group_size, loop, loop_nbytes))
         elif kind is CollectiveKind.REDUCE_SCATTER:
             sequence.extend(_reduce_scatter_loop(group_rank, group_size, loop, loop_nbytes))
         elif kind is CollectiveKind.BROADCAST:
-            sequence.extend(_chain_loop(group_rank, group_size, loop, loop_nbytes, root, False))
+            if tree:
+                sequence.extend(_broadcast_tree_loop(group_rank, group_size, loop,
+                                                     loop_nbytes, root))
+            else:
+                sequence.extend(_chain_loop(group_rank, group_size, loop, loop_nbytes,
+                                            root, False))
         elif kind is CollectiveKind.REDUCE:
-            sequence.extend(_chain_loop(group_rank, group_size, loop, loop_nbytes, root, True))
+            if tree:
+                sequence.extend(_reduce_tree_loop(group_rank, group_size, loop,
+                                                  loop_nbytes, root))
+            else:
+                sequence.extend(_chain_loop(group_rank, group_size, loop, loop_nbytes,
+                                            root, True))
         elif kind is CollectiveKind.SEND_RECV:
             # Point-to-point modelled as a two-rank broadcast chain.
             sequence.extend(_chain_loop(group_rank, group_size, loop, loop_nbytes, root, False))
@@ -212,7 +402,9 @@ def generate_primitive_sequence(
     return sequence
 
 
-def primitive_count(kind, group_size, nbytes, chunk_bytes=DEFAULT_CHUNK_BYTES):
+def primitive_count(kind, group_size, nbytes, chunk_bytes=DEFAULT_CHUNK_BYTES,
+                    algorithm=ALGORITHM_RING):
     """Number of primitives a rank executes for one collective call."""
-    sequence = generate_primitive_sequence(kind, 0, group_size, nbytes, chunk_bytes)
+    sequence = generate_primitive_sequence(kind, 0, group_size, nbytes, chunk_bytes,
+                                           algorithm=algorithm)
     return len(sequence)

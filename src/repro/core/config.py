@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.collectives.cost import CostModel
+from repro.collectives.selector import ALGORITHM_CHOICES
 
 
 @dataclass(frozen=True)
@@ -19,6 +20,9 @@ class DfcclConfig:
     # -- data plane ------------------------------------------------------------
     #: Ring-slice chunk size used when compiling primitive sequences.
     chunk_bytes: int = 128 << 10
+    #: Collective algorithm: "ring", "tree", or "auto" (topology-aware
+    #: selection per registered collective, mirroring NCCL's tuner).
+    algorithm: str = "ring"
     #: Connector FIFO depth.
     channel_capacity: int = 8
     #: Primitive cost model (shared with the NCCL baseline for fair comparison).
@@ -102,6 +106,8 @@ class DfcclConfig:
         return replace(self, **kwargs)
 
     def validate(self):
+        if self.algorithm not in ALGORITHM_CHOICES:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
         if self.cq_variant not in ("vanilla", "optimized-ring", "optimized-cas"):
             raise ValueError(f"unknown cq_variant {self.cq_variant!r}")
         if self.ordering not in ("fifo", "priority"):

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.collectives.channels import Communicator
 from repro.collectives.primitives import PrimitiveExecutor
+from repro.collectives.selector import AlgorithmSelector
 from repro.collectives.sequences import generate_primitive_sequence
 from repro.common.errors import ConfigurationError, InvalidStateError
 from repro.ncclsim.kernels import grid_size_for
@@ -30,6 +31,14 @@ class RegisteredCollective:
         self.name = name or f"dfccl-coll{coll_id}-{spec.kind.value}"
         self.communicator = communicator or Communicator(
             self.devices, interconnect, channel_capacity=config.channel_capacity
+        )
+        selector = AlgorithmSelector(interconnect, cost_model=config.cost_model)
+        self.algorithm = selector.resolve(
+            config.algorithm,
+            spec.kind,
+            spec.nbytes,
+            len(self.devices),
+            [device.device_id for device in self.devices],
         )
         self.invocations = []
         self.run_counts = {}
@@ -64,6 +73,7 @@ class RegisteredCollective:
             self.spec.nbytes,
             chunk_bytes=self.config.chunk_bytes,
             root=self.spec.root,
+            algorithm=self.algorithm,
         )
         return PrimitiveExecutor(
             collective_id=self.coll_id,

@@ -57,6 +57,7 @@ class TaskQueue:
 
     def __init__(self):
         self._entries = []
+        self._positions = {}
         self.length_samples = []
 
     def __len__(self):
@@ -69,14 +70,26 @@ class TaskQueue:
         return self._entries[index]
 
     def append(self, entry):
+        self._positions[id(entry)] = len(self._entries)
         self._entries.append(entry)
 
     def remove(self, entry):
-        self._entries.remove(entry)
+        """Index-aware removal: O(1) position lookup instead of an equality
+        scan over dataclass entries (a hot path when many collectives are in
+        flight)."""
+        try:
+            index = self._positions.pop(id(entry))
+        except KeyError:
+            raise ValueError(f"entry for coll {entry.coll_id} not in task queue") from None
+        del self._entries[index]
+        for position in range(index, len(self._entries)):
+            self._positions[id(self._entries[position])] = position
 
     def sort_by_priority(self):
         """Stable sort: higher priority first, FIFO within a priority level."""
         self._entries.sort(key=lambda entry: (-entry.priority, entry.arrival_index))
+        self._positions = {id(entry): position
+                           for position, entry in enumerate(self._entries)}
 
     def entries(self):
         return list(self._entries)

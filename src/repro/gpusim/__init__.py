@@ -19,7 +19,7 @@ from repro.gpusim.engine import Actor, Engine, StepResult, StepStatus
 from repro.gpusim.device import GpuDevice, KernelActor
 from repro.gpusim.cluster import Cluster, ClusterSpec, NodeSpec, build_cluster
 from repro.gpusim.host import HostProgram, HostThread
-from repro.gpusim.interconnect import Interconnect
+from repro.gpusim.interconnect import Interconnect, LinkSpec, TopologySpec
 from repro.gpusim.memory import MemoryAccountant, PinnedHostAllocator
 from repro.gpusim.stream import Stream
 
@@ -33,11 +33,13 @@ __all__ = [
     "HostThread",
     "Interconnect",
     "KernelActor",
+    "LinkSpec",
     "MemoryAccountant",
     "NodeSpec",
     "PinnedHostAllocator",
     "StepResult",
     "StepStatus",
     "Stream",
+    "TopologySpec",
     "build_cluster",
 ]

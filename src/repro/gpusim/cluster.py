@@ -13,8 +13,8 @@ from repro.common.errors import ConfigurationError
 from repro.common.types import DeviceId
 from repro.gpusim.device import GpuDevice
 from repro.gpusim.engine import Engine
-from repro.gpusim.host import HostProgram, HostThread
-from repro.gpusim.interconnect import Interconnect
+from repro.gpusim.host import HostThread
+from repro.gpusim.interconnect import Interconnect, TopologySpec
 from repro.gpusim.memory import GpuMemoryModel, PinnedHostAllocator
 
 
@@ -30,10 +30,16 @@ class NodeSpec:
 
 @dataclass
 class ClusterSpec:
-    """A whole cluster; order of ``nodes`` defines node indices."""
+    """A whole cluster; order of ``nodes`` defines node indices.
+
+    ``topology`` optionally carries a hierarchical fabric description
+    (NVLink islands, fat-tree oversubscription); when absent a flat
+    PIX/SYS/RDMA fabric with ``pix_group_size`` is assumed.
+    """
 
     nodes: list = field(default_factory=list)
     pix_group_size: int = 4
+    topology: TopologySpec = None
 
     @property
     def total_gpus(self):
@@ -69,6 +75,24 @@ def mixed_32gpu_spec():
     return ClusterSpec(nodes=nodes)
 
 
+def dual_server_nvlink_spec(num_gpus_per_node=8, nvlink_domain_size=4):
+    """Two NVLink-equipped servers: 4-GPU NVLink islands inside PIX domains."""
+    spec = dual_server_spec("3090", num_gpus_per_node)
+    spec.topology = TopologySpec(
+        pix_group_size=spec.pix_group_size, nvlink_domain_size=nvlink_domain_size
+    )
+    return spec
+
+
+def fat_tree_32gpu_spec(oversubscription=2.0):
+    """The 32-GPU cluster behind a 2:1 oversubscribed RDMA fat-tree."""
+    spec = mixed_32gpu_spec()
+    spec.topology = TopologySpec(
+        pix_group_size=spec.pix_group_size, rdma_oversubscription=oversubscription
+    )
+    return spec
+
+
 class Cluster:
     """A simulated multi-node GPU cluster plus its event engine."""
 
@@ -77,7 +101,9 @@ class Cluster:
             raise ConfigurationError("a cluster needs at least one node")
         self.spec = spec
         self.engine = engine or Engine()
-        self.interconnect = Interconnect(pix_group_size=spec.pix_group_size)
+        self.interconnect = Interconnect(
+            pix_group_size=spec.pix_group_size, topology=spec.topology
+        )
         self.devices = []
         self._devices_by_id = {}
         self._pinned = {}
@@ -152,7 +178,8 @@ def build_cluster(
     """Build one of the named paper testbeds.
 
     ``topology`` is one of ``single-3090``, ``single-3080ti``, ``dual-3090``,
-    ``mixed-32``; alternatively pass a :class:`ClusterSpec` directly.
+    ``dual-3090-nvlink``, ``mixed-32``, ``fat-tree-32``; alternatively pass a
+    :class:`ClusterSpec` directly.
     """
     if isinstance(topology, ClusterSpec):
         spec = topology
@@ -162,8 +189,12 @@ def build_cluster(
         spec = single_server_spec("3080ti")
     elif topology == "dual-3090":
         spec = dual_server_spec("3090")
+    elif topology == "dual-3090-nvlink":
+        spec = dual_server_nvlink_spec()
     elif topology == "mixed-32":
         spec = mixed_32gpu_spec()
+    elif topology == "fat-tree-32":
+        spec = fat_tree_32gpu_spec()
     else:
         raise ConfigurationError(f"unknown cluster topology {topology!r}")
     engine = Engine(deadlock_mode=deadlock_mode, max_steps=max_steps)

@@ -137,6 +137,7 @@ class Engine:
         self._waiters = {}
         self._counter = itertools.count()
         self._steps = 0
+        self._horizon = 0.0
         self.deadlock_report = None
         self._signal_log = []
 
@@ -146,6 +147,7 @@ class Engine:
         """Register an actor and make it runnable."""
         self._actors.append(actor)
         actor.on_registered(self)
+        self._observe_time(actor.now)
         self._push_ready(actor)
         return actor
 
@@ -159,6 +161,11 @@ class Engine:
 
     def _push_sleeping(self, actor, wake_at):
         heapq.heappush(self._sleeping, (wake_at, next(self._counter), actor))
+
+    def _observe_time(self, time_us):
+        """Keep the cached global horizon in sync with an observed clock."""
+        if time_us > self._horizon:
+            self._horizon = time_us
 
     # -- signalling ----------------------------------------------------------
 
@@ -187,6 +194,7 @@ class Engine:
                             self._waiters.pop(other, None)
             if time_us is not None:
                 actor.clock.advance_to(time_us)
+                self._observe_time(actor.now)
             self._push_ready(actor)
             woken += 1
         return woken
@@ -200,9 +208,13 @@ class Engine:
 
     @property
     def now(self):
-        """Largest local time reached by any actor (the global horizon)."""
-        times = [actor.now for actor in self._actors]
-        return max(times) if times else 0.0
+        """Largest local time reached by any actor (the global horizon).
+
+        Cached incrementally: the engine observes every clock advance it
+        mediates (steps, signals, sleeper wake-ups), so reading ``now`` is
+        O(1) instead of a scan over all actors on every access.
+        """
+        return self._horizon
 
     def _live_actors(self):
         return [actor for actor in self._actors if not actor.finished]
@@ -220,6 +232,7 @@ class Engine:
             if actor.finished:
                 continue
             actor.clock.advance_to(wake_at)
+            self._observe_time(actor.now)
             self._push_ready(actor)
             woken = True
         return woken
@@ -247,6 +260,7 @@ class Engine:
                 return self.now
 
             result = actor.step()
+            self._observe_time(actor.now)
             if self.trace is not None:
                 self.trace.append((actor.now, actor.name, result.status.value, result.detail))
 
@@ -289,6 +303,7 @@ class Engine:
                     return None
                 wake_at, _, actor = heapq.heappop(self._sleeping)
                 actor.clock.advance_to(wake_at)
+                self._observe_time(actor.now)
                 self._push_ready(actor)
                 continue
 

@@ -5,13 +5,58 @@ domains connected through the SYS domain, and connect servers with 56 Gb/s
 RDMA.  We model every GPU pair with an alpha/beta link (latency + bandwidth)
 selected from the topology, which is sufficient to reproduce the shape of the
 bandwidth/latency curves in Fig. 8.
+
+Beyond the flat PIX/SYS model, a :class:`TopologySpec` describes a hierarchical
+fabric: NVLink islands inside the PCIe domains of each node, and an RDMA
+fat-tree joining the nodes whose uplinks may be oversubscribed.  The
+hierarchical view also knows how to enumerate the intra-node chain order and
+the inter-node tree edges that topology-aware collective algorithms traverse.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.errors import ConfigurationError
 from repro.common.types import DeviceId, LinkType
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Hierarchical fabric description of one cluster.
+
+    ``pix_group_size`` GPUs share a PCIe PIX domain.  Independently, groups
+    of ``nvlink_domain_size`` consecutive GPUs of a node are joined by NVLink
+    (0 disables NVLink); an NVLink bridge bypasses the PCIe hierarchy, so an
+    island may span PIX domains and NVLink wins when both apply.  Nodes are
+    connected by an RDMA fat-tree whose uplinks are
+    ``rdma_oversubscription``-to-1 oversubscribed, dividing the effective
+    inter-node bandwidth.
+    """
+
+    pix_group_size: int = 4
+    nvlink_domain_size: int = 0
+    rdma_oversubscription: float = 1.0
+
+    def validate(self):
+        if self.pix_group_size < 1:
+            raise ConfigurationError(
+                f"pix_group_size must be at least 1, got {self.pix_group_size}"
+            )
+        if self.nvlink_domain_size < 0:
+            raise ConfigurationError(
+                f"nvlink_domain_size must be non-negative, got {self.nvlink_domain_size}"
+            )
+        if self.rdma_oversubscription < 1.0:
+            raise ConfigurationError(
+                f"rdma_oversubscription must be at least 1, got {self.rdma_oversubscription}"
+            )
+        return self
+
+    @property
+    def rdma_beta_gbps(self):
+        """Effective per-pair inter-node bandwidth after oversubscription."""
+        return LinkType.RDMA.beta_gbps / self.rdma_oversubscription
 
 
 @dataclass(frozen=True)
@@ -37,11 +82,23 @@ class LinkSpec:
         return self.alpha_us + nbytes / (self.beta_gbps * 1e3)
 
 
+def _binomial_edges(count):
+    """Parent->child edges of a binomial tree over indices ``0..count-1``."""
+    edges = []
+    for child in range(1, count):
+        parent = child ^ (1 << (child.bit_length() - 1))
+        edges.append((parent, child))
+    return edges
+
+
 class Interconnect:
     """Resolves the link connecting any two simulated GPUs."""
 
-    def __init__(self, pix_group_size=4, overrides=None):
-        self.pix_group_size = pix_group_size
+    def __init__(self, pix_group_size=4, overrides=None, topology=None):
+        if topology is None:
+            topology = TopologySpec(pix_group_size=pix_group_size)
+        self.topology = topology.validate()
+        self.pix_group_size = self.topology.pix_group_size
         self._overrides = dict(overrides or {})
 
     def override(self, device_a, device_b, spec):
@@ -54,6 +111,30 @@ class Interconnect:
         b = (device_b.node, device_b.local_rank)
         return (a, b) if a <= b else (b, a)
 
+    # -- hierarchical link resolution -----------------------------------------
+
+    def nvlink_domain(self, device):
+        """NVLink island index of a device within its node (None when disabled)."""
+        if self.topology.nvlink_domain_size <= 0:
+            return None
+        return device.local_rank // self.topology.nvlink_domain_size
+
+    def pix_domain(self, device):
+        return device.local_rank // self.pix_group_size
+
+    def locality(self, device_a, device_b):
+        """The :class:`LinkType` class connecting two devices (before overrides)."""
+        if device_a == device_b:
+            return LinkType.LOOPBACK
+        if device_a.node != device_b.node:
+            return LinkType.RDMA
+        nvl_a, nvl_b = self.nvlink_domain(device_a), self.nvlink_domain(device_b)
+        if nvl_a is not None and nvl_a == nvl_b:
+            return LinkType.NVLINK
+        if self.pix_domain(device_a) == self.pix_domain(device_b):
+            return LinkType.SHM_PIX
+        return LinkType.SHM_SYS
+
     def link(self, device_a, device_b):
         """Return the :class:`LinkSpec` connecting ``device_a`` and ``device_b``."""
         if not isinstance(device_a, DeviceId) or not isinstance(device_b, DeviceId):
@@ -61,17 +142,10 @@ class Interconnect:
         key = self._key(device_a, device_b)
         if key in self._overrides:
             return self._overrides[key]
-        if device_a == device_b:
-            return LinkSpec.of(LinkType.LOOPBACK)
-        if device_a.node != device_b.node:
-            return LinkSpec.of(LinkType.RDMA)
-        same_pix = (
-            device_a.local_rank // self.pix_group_size
-            == device_b.local_rank // self.pix_group_size
-        )
-        if same_pix:
-            return LinkSpec.of(LinkType.SHM_PIX)
-        return LinkSpec.of(LinkType.SHM_SYS)
+        locality = self.locality(device_a, device_b)
+        if locality is LinkType.RDMA:
+            return LinkSpec.of(LinkType.RDMA, beta_gbps=self.topology.rdma_beta_gbps)
+        return LinkSpec.of(locality)
 
     def transfer_time_us(self, device_a, device_b, nbytes):
         """Time to move ``nbytes`` between the two devices."""
@@ -87,3 +161,51 @@ class Interconnect:
             for dev_b in devices[i + 1 :]:
                 betas.append(self.link(dev_a, dev_b).beta_gbps)
         return min(betas)
+
+    # -- hierarchy enumeration -------------------------------------------------
+
+    def node_groups(self, devices):
+        """Devices grouped by node, each group in intra-node chain order."""
+        groups = {}
+        for device in devices:
+            groups.setdefault(device.node, []).append(device)
+        return {
+            node: self.intra_node_chain(members)
+            for node, members in sorted(groups.items())
+        }
+
+    def intra_node_chain(self, devices):
+        """Chain traversal order of same-node devices.
+
+        Devices in the same NVLink island are kept adjacent, islands in the
+        same PIX domain are kept adjacent, so a chain walk crosses each slower
+        domain boundary the minimum number of times.
+        """
+        devices = list(devices)
+        nodes = {device.node for device in devices}
+        if len(nodes) > 1:
+            raise ConfigurationError(
+                f"intra_node_chain expects devices of one node, got nodes {sorted(nodes)}"
+            )
+        return sorted(
+            devices,
+            key=lambda device: (
+                self.pix_domain(device),
+                self.nvlink_domain(device) or 0,
+                device.local_rank,
+            ),
+        )
+
+    def inter_node_tree_edges(self, devices):
+        """Binomial-tree edges over one leader device per participating node.
+
+        Returns ``(parent_device, child_device)`` pairs: the inter-node stage
+        of a hierarchical collective forwards data along exactly these RDMA
+        edges.
+        """
+        groups = self.node_groups(devices)
+        leaders = [members[0] for members in groups.values()]
+        return [
+            (leaders[parent], leaders[child])
+            for parent, child in _binomial_edges(len(leaders))
+        ]

@@ -36,7 +36,7 @@ class NcclCommunicator:
                 f"rank {global_rank} is not a member of communicator {self.name}"
             ) from None
 
-    def collective(self, coll_id, spec, chunk_bytes=None, name=None):
+    def collective(self, coll_id, spec, chunk_bytes=None, name=None, algorithm=None):
         """Return the shared op for ``coll_id``, creating it on first use."""
         op = self._ops_by_id.get(coll_id)
         if op is None:
@@ -48,6 +48,7 @@ class NcclCommunicator:
                 cost_model=self.backend.cost_model,
                 chunk_bytes=chunk_bytes or self.backend.chunk_bytes,
                 name=name or f"{self.name}:coll{coll_id}",
+                algorithm=algorithm or self.backend.algorithm,
             )
             self._ops_by_id[coll_id] = op
             self._call_order.append(op)
@@ -87,10 +88,11 @@ class NcclCommunicator:
 class NcclBackend:
     """Factory of communicators and kernels over a simulated cluster."""
 
-    def __init__(self, cluster, cost_model=None, chunk_bytes=None):
+    def __init__(self, cluster, cost_model=None, chunk_bytes=None, algorithm="ring"):
         self.cluster = cluster
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.chunk_bytes = chunk_bytes or (128 << 10)
+        self.algorithm = algorithm
         self.communicators = []
 
     def create_communicator(self, ranks=None, name=None):

@@ -6,6 +6,7 @@ import itertools
 
 from repro.collectives.channels import Communicator
 from repro.collectives.primitives import PrimitiveExecutor
+from repro.collectives.selector import AlgorithmSelector
 from repro.collectives.sequences import DEFAULT_CHUNK_BYTES, generate_primitive_sequence
 from repro.common.errors import InvalidStateError
 
@@ -22,7 +23,7 @@ class NcclCollectiveOp:
     """
 
     def __init__(self, spec, devices, interconnect, cost_model=None,
-                 chunk_bytes=DEFAULT_CHUNK_BYTES, name=None):
+                 chunk_bytes=DEFAULT_CHUNK_BYTES, name=None, algorithm="ring"):
         spec.validate()
         self.op_id = next(_op_ids)
         self.name = name or f"nccl-op{self.op_id}-{spec.kind.value}"
@@ -31,6 +32,11 @@ class NcclCollectiveOp:
         self.communicator = Communicator(self.devices, interconnect)
         self.cost_model = cost_model
         self.chunk_bytes = chunk_bytes
+        selector = AlgorithmSelector(interconnect, cost_model=cost_model)
+        self.algorithm = selector.resolve(
+            algorithm, spec.kind, spec.nbytes, len(self.devices),
+            [device.device_id for device in self.devices],
+        )
         self._complete_ranks = {}
         self._kernels = {}
 
@@ -47,6 +53,7 @@ class NcclCollectiveOp:
             self.spec.nbytes,
             chunk_bytes=self.chunk_bytes,
             root=self.spec.root,
+            algorithm=self.algorithm,
         )
         return PrimitiveExecutor(
             collective_id=self.op_id,

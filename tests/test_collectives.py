@@ -17,7 +17,6 @@ from repro.collectives import (
     primitive_count,
 )
 from repro.gpusim.cluster import build_cluster
-from repro.gpusim.interconnect import Interconnect
 
 
 def make_communicator(size=4):
@@ -224,3 +223,156 @@ class TestCostModel:
         with_send = model.primitive_time_us(1 << 20, link=link, sends=True)
         without = model.primitive_time_us(1 << 20, link=None, sends=False)
         assert with_send > without
+
+
+class TestTreeRelations:
+    def test_binary_tree_heap_shape(self):
+        from repro.collectives import binary_tree_relations
+        parent, children = binary_tree_relations(0, 7)
+        assert parent is None
+        assert children == [1, 2]
+        parent, children = binary_tree_relations(1, 7)
+        assert parent == 0
+        assert children == [3, 4]
+
+    def test_mirror_tree_flips_roles(self):
+        from repro.collectives import binary_tree_relations
+        parent, children = binary_tree_relations(6, 7, mirror=True)
+        assert parent is None  # rank n-1 is the mirror-tree root
+        parent, _ = binary_tree_relations(0, 7, mirror=True)
+        assert parent is not None
+
+    def test_double_tree_interior_leaf_balance(self):
+        """No rank is interior in both trees: the interior work of the two
+        complementary trees lands on disjoint rank sets."""
+        from repro.collectives import binary_tree_relations
+        for size in (7, 8, 15, 16):
+            for rank in range(size):
+                _, children0 = binary_tree_relations(rank, size)
+                _, children1 = binary_tree_relations(rank, size, mirror=True)
+                assert not (children0 and children1)
+
+    def test_binomial_tree_parents(self):
+        from repro.collectives import binomial_tree_relations
+        parent, children = binomial_tree_relations(0, 8, root=0)
+        assert parent is None
+        assert sorted(children) == [1, 2, 4]
+        parent, _ = binomial_tree_relations(5, 8, root=0)
+        assert parent == 1  # 5 = 0b101 -> clear high bit -> 1
+
+    def test_binomial_tree_respects_root(self):
+        from repro.collectives import binomial_tree_relations
+        parent, _ = binomial_tree_relations(3, 8, root=3)
+        assert parent is None
+
+    def test_binomial_edges_cover_all_ranks(self):
+        from repro.collectives import binomial_tree_relations
+        for size in (2, 3, 5, 8, 13):
+            for root in (0, 1):
+                seen = set()
+                for rank in range(size):
+                    parent, _ = binomial_tree_relations(rank, size, root=root)
+                    if parent is None:
+                        seen.add(rank)
+                    else:
+                        seen.add(rank)
+                        assert 0 <= parent < size
+                assert seen == set(range(size))
+
+
+class TestTreeSequences:
+    def test_tree_allreduce_root_structure(self):
+        sequence = generate_primitive_sequence(
+            CollectiveKind.ALL_REDUCE, 0, 8, 1024, algorithm="tree")
+        names = [primitive.name for primitive in sequence]
+        # Small payload: single tree; the heap root reduces both children then
+        # broadcasts back down.
+        assert names == ["recvReduceCopy", "recvReduceCopy", "send", "send"]
+
+    def test_tree_allreduce_leaf_structure(self):
+        sequence = generate_primitive_sequence(
+            CollectiveKind.ALL_REDUCE, 7, 8, 1024, algorithm="tree")
+        names = [primitive.name for primitive in sequence]
+        assert names == ["send", "recv"]
+
+    def test_tree_allreduce_splits_large_payloads(self):
+        from repro.collectives.sequences import TREE_SPLIT_MIN_BYTES
+        small = generate_primitive_sequence(
+            CollectiveKind.ALL_REDUCE, 0, 8, 1024, algorithm="tree")
+        large = generate_primitive_sequence(
+            CollectiveKind.ALL_REDUCE, 0, 8, TREE_SPLIT_MIN_BYTES,
+            algorithm="tree", chunk_bytes=TREE_SPLIT_MIN_BYTES)
+        # Above the split threshold the rank participates in both trees.
+        assert len(large) > len(small)
+
+    def test_tree_broadcast_roles(self):
+        root_seq = generate_primitive_sequence(
+            CollectiveKind.BROADCAST, 0, 8, 1024, algorithm="tree")
+        assert all(primitive.name == "send" for primitive in root_seq)
+        leaf_seq = generate_primitive_sequence(
+            CollectiveKind.BROADCAST, 7, 8, 1024, algorithm="tree")
+        assert [primitive.name for primitive in leaf_seq] == ["recv"]
+
+    def test_tree_falls_back_to_ring_for_all_gather(self):
+        ring = generate_primitive_sequence(
+            CollectiveKind.ALL_GATHER, 2, 8, 4096, algorithm="ring")
+        tree = generate_primitive_sequence(
+            CollectiveKind.ALL_GATHER, 2, 8, 4096, algorithm="tree")
+        assert [p.name for p in ring] == [p.name for p in tree]
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(Exception):
+            generate_primitive_sequence(
+                CollectiveKind.ALL_REDUCE, 0, 8, 1024, algorithm="butterfly")
+
+    @given(st.sampled_from([CollectiveKind.ALL_REDUCE, CollectiveKind.BROADCAST,
+                            CollectiveKind.REDUCE]),
+           st.integers(2, 17), st.integers(1, 1 << 16), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_tree_moves_byte_identical_totals_to_ring(self, kind, group_size,
+                                                      per_rank_bytes, root):
+        """Tree sequences deliver exactly the bytes the ring delivers.
+
+        The totals of received and reduced bytes across all ranks are
+        algorithm-invariant (payload chosen divisible by the group size so
+        the ring's slice padding does not kick in).
+        """
+        nbytes = per_rank_bytes * group_size
+        root = root % group_size
+
+        def totals(algorithm):
+            recv_bytes = reduce_bytes = 0
+            for rank in range(group_size):
+                sequence = generate_primitive_sequence(
+                    kind, rank, group_size, nbytes, chunk_bytes=1 << 30,
+                    root=root, algorithm=algorithm)
+                for primitive in sequence:
+                    if primitive.action & PrimitiveAction.RECV:
+                        recv_bytes += primitive.nbytes
+                    if primitive.action & PrimitiveAction.REDUCE:
+                        reduce_bytes += primitive.nbytes
+            return recv_bytes, reduce_bytes
+
+        assert totals("tree") == totals("ring")
+
+    @given(st.sampled_from([CollectiveKind.ALL_REDUCE, CollectiveKind.BROADCAST,
+                            CollectiveKind.REDUCE]),
+           st.integers(2, 16), st.integers(1, 1 << 19))
+    @settings(max_examples=25, deadline=None)
+    def test_tree_sequences_run_to_completion(self, kind, group_size, nbytes):
+        """Every rank's tree sequence completes under round-robin execution
+        (no deadlock or livelock among the generated primitives)."""
+        cluster = build_cluster("dual-3090")
+        comm = Communicator(cluster.devices[:group_size], cluster.interconnect)
+        executors = []
+        for rank in range(group_size):
+            sequence = generate_primitive_sequence(
+                kind, rank, group_size, nbytes, algorithm="tree")
+            executors.append(PrimitiveExecutor(0, rank, comm, sequence))
+        clocks = [VirtualClock() for _ in executors]
+        for _ in range(20_000):
+            if all(executor.done() for executor in executors):
+                break
+            for executor, clock in zip(executors, clocks):
+                executor.try_execute_current(clock)
+        assert all(executor.done() for executor in executors)

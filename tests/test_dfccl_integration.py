@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import DeadlockError
 from repro.common.rng import DeterministicRNG
-from repro.common.types import CollectiveKind, CollectiveSpec
+from repro.common.types import CollectiveSpec
 from repro.core import DfcclBackend, DfcclConfig
 from repro.gpusim import HostProgram, build_cluster
 from repro.gpusim.host import DeviceSynchronize

@@ -306,3 +306,117 @@ class TestDeviceAndStreams:
         host = cluster.add_host(0, HostProgram([CpuCompute(123.0)]))
         cluster.run()
         assert host.now >= 123.0
+
+
+class TestHierarchicalTopology:
+    def _hier(self, nvlink=2, oversub=2.0):
+        from repro.gpusim.interconnect import TopologySpec
+        return Interconnect(topology=TopologySpec(
+            pix_group_size=4, nvlink_domain_size=nvlink,
+            rdma_oversubscription=oversub))
+
+    def test_nvlink_domain_link(self):
+        interconnect = self._hier()
+        link = interconnect.link(DeviceId(0, 0), DeviceId(0, 1))
+        assert link.link_type is LinkType.NVLINK
+        # Same PIX domain but different NVLink islands fall back to PIX.
+        link = interconnect.link(DeviceId(0, 1), DeviceId(0, 2))
+        assert link.link_type is LinkType.SHM_PIX
+
+    def test_oversubscription_divides_rdma_bandwidth(self):
+        interconnect = self._hier(oversub=2.0)
+        link = interconnect.link(DeviceId(0, 0), DeviceId(1, 0))
+        assert link.link_type is LinkType.RDMA
+        assert link.beta_gbps == LinkType.RDMA.beta_gbps / 2.0
+        assert link.alpha_us == LinkType.RDMA.alpha_us
+
+    def test_flat_topology_unchanged(self):
+        flat = Interconnect(pix_group_size=4)
+        assert flat.link(DeviceId(0, 0), DeviceId(0, 1)).link_type is LinkType.SHM_PIX
+        assert flat.link(DeviceId(0, 0), DeviceId(1, 0)).beta_gbps == \
+            LinkType.RDMA.beta_gbps
+
+    def test_bottleneck_beta_sees_oversubscription(self):
+        interconnect = self._hier(oversub=4.0)
+        devices = [DeviceId(0, 0), DeviceId(0, 1), DeviceId(1, 0)]
+        assert interconnect.bottleneck_beta_gbps(devices) == \
+            LinkType.RDMA.beta_gbps / 4.0
+
+    def test_bottleneck_beta_single_device_is_loopback(self):
+        interconnect = self._hier()
+        assert interconnect.bottleneck_beta_gbps([DeviceId(0, 0)]) == \
+            LinkType.LOOPBACK.beta_gbps
+
+    def test_bottleneck_beta_respects_overrides(self):
+        interconnect = Interconnect()
+        interconnect.override(DeviceId(0, 0), DeviceId(0, 1),
+                              LinkSpec.of(LinkType.NVLINK, beta_gbps=1.0))
+        devices = [DeviceId(0, 0), DeviceId(0, 1)]
+        assert interconnect.bottleneck_beta_gbps(devices) == 1.0
+
+    def test_intra_node_chain_groups_domains(self):
+        interconnect = self._hier(nvlink=2)
+        devices = [DeviceId(0, 5), DeviceId(0, 0), DeviceId(0, 4), DeviceId(0, 1)]
+        chain = interconnect.intra_node_chain(devices)
+        assert chain == [DeviceId(0, 0), DeviceId(0, 1), DeviceId(0, 4), DeviceId(0, 5)]
+
+    def test_intra_node_chain_rejects_multi_node(self):
+        interconnect = self._hier()
+        with pytest.raises(Exception):
+            interconnect.intra_node_chain([DeviceId(0, 0), DeviceId(1, 0)])
+
+    def test_inter_node_tree_edges_span_all_nodes(self):
+        interconnect = self._hier()
+        devices = [DeviceId(node, local) for node in range(4) for local in range(2)]
+        edges = interconnect.inter_node_tree_edges(devices)
+        # A tree over 4 node leaders has exactly 3 edges, all cross-node.
+        assert len(edges) == 3
+        reached = {0}
+        for parent, child in edges:
+            assert parent.node != child.node
+            reached.add(child.node)
+        assert reached == {0, 1, 2, 3}
+
+    def test_topology_spec_validation(self):
+        from repro.gpusim.interconnect import TopologySpec
+        with pytest.raises(Exception):
+            TopologySpec(pix_group_size=0).validate()
+        with pytest.raises(Exception):
+            TopologySpec(rdma_oversubscription=0.5).validate()
+
+    def test_named_hierarchical_clusters(self):
+        nvlink_cluster = build_cluster("dual-3090-nvlink")
+        assert nvlink_cluster.interconnect.link(
+            DeviceId(0, 0), DeviceId(0, 1)).link_type is LinkType.NVLINK
+        fat_tree = build_cluster("fat-tree-32")
+        assert fat_tree.interconnect.link(
+            DeviceId(0, 0), DeviceId(1, 0)).beta_gbps == \
+            LinkType.RDMA.beta_gbps / 2.0
+
+
+class TestEngineHorizonCache:
+    def test_now_tracks_stepped_actors(self):
+        class Ticker(Actor):
+            def step(self):
+                self.clock.advance(5.0)
+                if self.now >= 10.0:
+                    return StepResult.done()
+                return StepResult.progress()
+
+        engine = Engine()
+        engine.add_actor(Ticker("a"))
+        engine.add_actor(Ticker("b"))
+        assert engine.now == 0.0
+        engine.run()
+        assert engine.now == pytest.approx(10.0)
+
+    def test_now_tracks_late_registration(self):
+        engine = Engine()
+
+        class Idle(Actor):
+            def step(self):
+                return StepResult.done()
+
+        late = Idle("late", start_time_us=42.0)
+        engine.add_actor(late)
+        assert engine.now == pytest.approx(42.0)

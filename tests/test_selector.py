@@ -1,0 +1,108 @@
+"""Tests for topology-aware ring-vs-tree algorithm selection."""
+
+import pytest
+
+from repro.common.types import CollectiveKind
+from repro.collectives import AlgorithmSelector
+from repro.core import DfcclConfig
+from repro.bench.collective_perf import measure_collective, sweep_ring_vs_tree
+from repro.gpusim import build_cluster
+
+
+def dual_server_selector():
+    cluster = build_cluster("dual-3090")
+    device_ids = [device.device_id for device in cluster.devices]
+    return AlgorithmSelector(cluster.interconnect), device_ids
+
+
+class TestAlgorithmSelector:
+    def test_small_messages_pick_tree(self):
+        selector, device_ids = dual_server_selector()
+        choice = selector.choose(CollectiveKind.ALL_REDUCE, 16 << 10, 16, device_ids)
+        assert choice.algorithm == "tree"
+        assert choice.tree_cost_us < choice.ring_cost_us
+
+    def test_large_messages_pick_ring(self):
+        selector, device_ids = dual_server_selector()
+        choice = selector.choose(CollectiveKind.ALL_REDUCE, 4 << 20, 16, device_ids)
+        assert choice.algorithm == "ring"
+        assert choice.ring_cost_us < choice.tree_cost_us
+
+    def test_non_tree_kinds_always_ring(self):
+        selector, device_ids = dual_server_selector()
+        for kind in (CollectiveKind.ALL_GATHER, CollectiveKind.REDUCE_SCATTER,
+                     CollectiveKind.SEND_RECV):
+            assert selector.select(kind, 512, 16, device_ids) == "ring"
+
+    def test_tiny_groups_always_ring(self):
+        selector, device_ids = dual_server_selector()
+        assert selector.select(CollectiveKind.ALL_REDUCE, 512, 2,
+                               device_ids[:2]) == "ring"
+
+    def test_resolve_passes_explicit_choices_through(self):
+        selector, _ = dual_server_selector()
+        assert selector.resolve("ring", CollectiveKind.ALL_REDUCE, 512, 16) == "ring"
+        assert selector.resolve("tree", CollectiveKind.ALL_REDUCE, 512, 16) == "tree"
+        with pytest.raises(Exception):
+            selector.resolve("butterfly", CollectiveKind.ALL_REDUCE, 512, 16)
+
+    def test_selector_without_topology_falls_back(self):
+        selector = AlgorithmSelector()
+        assert selector.select(CollectiveKind.ALL_REDUCE, 512, 8) in ("ring", "tree")
+
+
+class TestConfigWiring:
+    def test_config_validates_algorithm(self):
+        DfcclConfig(algorithm="auto").validate()
+        with pytest.raises(ValueError):
+            DfcclConfig(algorithm="butterfly").validate()
+
+    def test_registered_collective_resolves_auto(self):
+        from repro.core import DfcclBackend
+
+        cluster = build_cluster("dual-3090")
+        dfccl = DfcclBackend(cluster, DfcclConfig(algorithm="auto"))
+        ranks = list(range(16))
+        dfccl.init_all_ranks(ranks)
+        small = dfccl.register_all_reduce(0, count=1 << 12, ranks=ranks)
+        large = dfccl.register_all_reduce(1, count=1 << 20, ranks=ranks)
+        assert small.algorithm == "tree"
+        assert large.algorithm == "ring"
+
+    def test_nccl_backend_resolves_auto(self):
+        from repro.ncclsim import NcclBackend
+        from repro.common.types import CollectiveSpec
+
+        cluster = build_cluster("dual-3090")
+        nccl = NcclBackend(cluster, algorithm="auto")
+        comm = nccl.create_communicator()
+        op = comm.collective(0, CollectiveSpec(CollectiveKind.ALL_REDUCE, 1 << 12))
+        assert op.algorithm == "tree"
+
+
+class TestSimulatedCrossover:
+    def test_tree_beats_ring_for_small_messages(self):
+        """16 GPUs over two nodes: tree all-reduce wins the latency-bound
+        small-message regime (<= 64 KiB), ring wins the bandwidth regime."""
+        small_ring = measure_collective("nccl", "all_reduce", 64 << 10, 16,
+                                        "dual-3090", iterations=1,
+                                        algorithm="ring")
+        small_tree = measure_collective("nccl", "all_reduce", 64 << 10, 16,
+                                        "dual-3090", iterations=1,
+                                        algorithm="tree")
+        assert small_tree["latency_us"] < small_ring["latency_us"]
+
+        large_ring = measure_collective("nccl", "all_reduce", 4 << 20, 16,
+                                        "dual-3090", iterations=1,
+                                        algorithm="ring")
+        large_tree = measure_collective("nccl", "all_reduce", 4 << 20, 16,
+                                        "dual-3090", iterations=1,
+                                        algorithm="tree")
+        assert large_ring["latency_us"] < large_tree["latency_us"]
+
+    def test_auto_tracks_the_winner_across_the_crossover(self):
+        rows = sweep_ring_vs_tree(sizes=[16 << 10, 4 << 20], iterations=1)
+        for row in rows:
+            assert row["auto_algorithm"] == row["winner"]
+            assert row["auto_latency_us"] == pytest.approx(
+                min(row["ring_latency_us"], row["tree_latency_us"]), rel=0.05)
