@@ -1,6 +1,10 @@
 """Sec. 6.1: DFCCL's deadlock-prevention capability vs NCCL."""
 
+import pytest
+
 from repro.bench import sec61_random_order_program, sec61_sync_program
+
+pytestmark = pytest.mark.timeout(600)
 
 
 def test_random_order_allreduces_nccl_deadlocks(benchmark):

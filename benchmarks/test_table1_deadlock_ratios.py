@@ -5,6 +5,8 @@ import pytest
 from repro.bench import format_table, run_table1_row
 from repro.bench.deadlock_experiments import TABLE1_FAST_ROWS, deadlock_sensitivity_sweep
 
+pytestmark = pytest.mark.timeout(600)
+
 
 @pytest.mark.parametrize("row", TABLE1_FAST_ROWS)
 def test_table1_row(benchmark, row):

@@ -21,6 +21,11 @@ from repro.bench.deadlock_experiments import (
     sec61_sync_program,
     deadlock_sensitivity_sweep,
 )
+from repro.bench.fault_experiments import (
+    CHAOS_PLANS,
+    goodput_under_chaos,
+    measure_recovery,
+)
 from repro.bench.training_experiments import (
     fig10_resnet50_dp,
     fig11_adaptive_scheduling,
@@ -29,7 +34,10 @@ from repro.bench.training_experiments import (
 )
 
 __all__ = [
+    "CHAOS_PLANS",
     "deadlock_sensitivity_sweep",
+    "goodput_under_chaos",
+    "measure_recovery",
     "fig10_resnet50_dp",
     "fig11_adaptive_scheduling",
     "fig12_vit_training",

@@ -15,12 +15,22 @@ before the read, never loses data.
 from __future__ import annotations
 
 import itertools
+import weakref
 from collections import deque
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, InvalidStateError
 
 _channel_ids = itertools.count()
 _communicator_ids = itertools.count()
+
+#: Channels by id, for wait-key attribution (deadlock/fault analysis needs to
+#: know which device would have signalled a ``chan-*`` key).
+_channels_by_id = weakref.WeakValueDictionary()
+
+
+def channel_by_id(channel_id):
+    """Resolve a channel id from an engine wait key, or ``None`` if gone."""
+    return _channels_by_id.get(channel_id)
 
 
 class ChunkMessage:
@@ -56,6 +66,8 @@ class Channel:
         self._fifo = deque()
         self.pushed_count = 0
         self.popped_count = 0
+        self.invalidated = False
+        _channels_by_id[self.channel_id] = self
 
     # -- wait keys -------------------------------------------------------------
 
@@ -69,12 +81,32 @@ class Channel:
         """Signalled when a slot frees up (sender may make progress)."""
         return ("chan-writable", self.channel_id)
 
+    # -- invalidation --------------------------------------------------------------
+
+    def invalidate(self):
+        """Mark the channel unusable and drop its in-flight data.
+
+        Called when one endpoint failed: the connector's memory is gone, so
+        pending chunks are lost and no further push or pop may succeed.  A
+        surviving peer polling the channel simply never sees it become
+        readable/writable again — which is exactly the condition that bounds
+        (DFCCL) or does not bound (NCCL) its busy-wait.
+        """
+        self.invalidated = True
+        self._fifo.clear()
+
     # -- sender side -------------------------------------------------------------
 
     def writable(self):
+        if self.invalidated:
+            return False
         return len(self._fifo) < self.capacity
 
     def push(self, message):
+        if self.invalidated:
+            raise InvalidStateError(
+                f"channel {self.channel_id} is invalidated: push attempted"
+            )
         if not self.writable():
             raise ConfigurationError(
                 f"channel {self.channel_id} full: push attempted without checking writable()"
@@ -94,7 +126,7 @@ class Channel:
         a message whose arrival is further than that in the receiver's future
         is treated as not readable — DFCCL uses this to bound busy-waiting.
         """
-        if not self._fifo:
+        if self.invalidated or not self._fifo:
             return False
         if max_wait_us is None or now_us is None:
             return True
@@ -139,6 +171,7 @@ class Communicator:
         self.interconnect = interconnect
         self.channel_capacity = channel_capacity
         self._channels = {}
+        self.invalidated = False
 
     @property
     def size(self):
@@ -182,6 +215,18 @@ class Communicator:
     def reset_channels(self):
         """Drop all channels (used between independent experiment repetitions)."""
         self._channels.clear()
+
+    def invalidate(self):
+        """Invalidate the communicator and every channel it created.
+
+        A failure-invalidated communicator must never be reused: its
+        connectors may hold chunks of a collective that died mid-flight
+        (Sec. 4.5's correctness argument relies on connectors never being
+        shared across collectives, and recovery extends that to failures).
+        """
+        self.invalidated = True
+        for channel in self._channels.values():
+            channel.invalidate()
 
     def __repr__(self):
         members = ", ".join(str(device.device_id) for device in self.devices)

@@ -10,12 +10,21 @@ from __future__ import annotations
 
 
 class VirtualClock:
-    """A monotonically non-decreasing local clock measured in microseconds."""
+    """A monotonically non-decreasing local clock measured in microseconds.
 
-    __slots__ = ("_now",)
+    ``rate`` is a time-dilation factor applied to relative advances: a clock
+    with rate 2.0 belongs to an entity running at half speed, so every unit of
+    work costs twice the virtual time.  Absolute jumps (``advance_to``) are
+    unaffected — external events such as message arrivals happen at their real
+    time regardless of how slow the local entity is.  Fault injection uses the
+    rate to model straggler GPUs.
+    """
 
-    def __init__(self, start_us=0.0):
+    __slots__ = ("_now", "rate")
+
+    def __init__(self, start_us=0.0, rate=1.0):
         self._now = float(start_us)
+        self.rate = float(rate)
 
     @property
     def now(self):
@@ -26,7 +35,7 @@ class VirtualClock:
         """Advance the clock by ``delta_us`` microseconds and return the new time."""
         if delta_us < 0:
             raise ValueError(f"cannot advance clock by negative time {delta_us}")
-        self._now += delta_us
+        self._now += delta_us * self.rate
         return self._now
 
     def advance_to(self, timestamp_us):

@@ -17,10 +17,12 @@ policy (naive fixed or adaptive gang-scheduling).
 """
 
 from repro.core.api import DfcclBackend, InvocationHandle, RankContext
+from repro.core.communicator_pool import CommunicatorPool
 from repro.core.config import DfcclConfig
 from repro.core.context import CollectiveContextBuffer, ActiveContextCache
 from repro.core.daemon import DaemonKernel
 from repro.core.profiler import AutoProfiler
+from repro.core.recovery import RecoveryEvent, RecoveryManager, RecoveryStats
 from repro.core.queues import (
     CompletionQueueBase,
     OptimizedCasCQ,
@@ -43,6 +45,7 @@ __all__ = [
     "AdaptiveSpinPolicy",
     "AutoProfiler",
     "CollectiveContextBuffer",
+    "CommunicatorPool",
     "CompletionQueueBase",
     "DaemonKernel",
     "DfcclBackend",
@@ -54,6 +57,9 @@ __all__ = [
     "OptimizedRingCQ",
     "PriorityOrderingPolicy",
     "RankContext",
+    "RecoveryEvent",
+    "RecoveryManager",
+    "RecoveryStats",
     "RegisteredCollective",
     "SubmissionQueue",
     "TaskQueue",

@@ -87,6 +87,9 @@ class RankContext:
         self.destroyed = False
         self.finally_exited = False
 
+        #: Submitted-but-not-yet-callback-fired invocations with their submit
+        #: times; the recovery manager scans this for CQE timeouts.
+        self._inflight = {}
         self._pending_entries = []
         self._daemon_alive = False
         self._daemon_generation = 0
@@ -165,6 +168,7 @@ class RankContext:
             )
         )
         self.outstanding += 1
+        self._inflight[invocation] = time_us
         engine = self.cluster.engine
         engine.signal(self.submitted_key, time_us)
         self.ensure_daemon_running(time_us)
@@ -180,7 +184,7 @@ class RankContext:
 
     def ensure_daemon_running(self, time_us):
         """Event-driven starting: launch the daemon kernel if it is not running."""
-        if self._daemon_alive or self.finally_exited:
+        if self._daemon_alive or self.finally_exited or self.device.failed:
             return None
         self._daemon_generation += 1
         kernel = DaemonKernel(self, self._daemon_generation)
@@ -218,10 +222,71 @@ class RankContext:
     def daemon_alive(self):
         return self._daemon_alive
 
+    @property
+    def daemon_generation(self):
+        return self._daemon_generation
+
+    # -- elastic recovery ---------------------------------------------------------
+
+    def recover_invocation(self, invocation, time_us):
+        """Restart this rank's part of a recovering invocation.
+
+        ``Invocation.begin_recovery`` has already dropped the cached executor,
+        so the next adoption compiles the shrunken sequence; here we reset the
+        saved dynamic context, give the restarted collective a fresh
+        CQE-timeout window, and force a daemon generation turnover so the
+        stale executor held by the current generation's task queue is dropped.
+        """
+        coll = invocation.coll
+        if coll.coll_id in self.context_buffer:
+            from repro.core.context import DynamicContext
+
+            self.context_buffer.save_dynamic(coll.coll_id, DynamicContext())
+        if invocation in self._inflight:
+            self._inflight[invocation] = time_us
+        if self._daemon_alive and self.current_daemon is not None:
+            self.current_daemon.request_restart()
+        else:
+            # The daemon quit while the collective was stuck; relaunch it
+            # immediately (recovery overrides the relaunch back-off).
+            self.ensure_daemon_running(time_us)
+
+    # -- unregistration (dfccl_unregister_*) -----------------------------------------
+
+    def ensure_unregisterable(self, coll):
+        """Raise if this rank still has an in-flight invocation of ``coll``.
+
+        A failed rank never objects — its in-flight invocations died with the
+        device and can never finish.
+        """
+        if coll.coll_id not in self.registered or self.device.failed:
+            return
+        for invocation in coll.invocations:
+            if (invocation in self._inflight
+                    and not invocation.is_done(self.group_rank_for(coll))):
+                raise InvalidStateError(
+                    f"cannot unregister collective {coll.coll_id} on rank "
+                    f"{self.global_rank}: invocation {invocation.index} in flight"
+                )
+
+    def unregister(self, coll):
+        """Forget a collective on this rank: registration and context record."""
+        if coll.coll_id not in self.registered:
+            return
+        self.ensure_unregisterable(coll)
+        del self.registered[coll.coll_id]
+        self.context_buffer.unregister(coll.coll_id)
+
     # -- completion ------------------------------------------------------------------------
 
     def on_gpu_complete(self, invocation, time_us):
         """Hook called by the daemon when this rank's part of an invocation completes."""
+        if invocation.fully_complete():
+            # Recycle a dedicated rerun communicator once the last expected
+            # rank finished; the collective's own communicator stays live.
+            communicator = invocation.take_rerun_communicator()
+            if communicator is not None and communicator is not invocation.coll.communicator:
+                self.backend.pool.release(communicator)
 
     def deliver_completion(self, cqe, clock):
         """Run the callback bound to a completed collective (poller side)."""
@@ -233,6 +298,7 @@ class RankContext:
             callback(invocation)
         invocation.mark_callback_fired(group_rank)
         self.outstanding -= 1
+        self._inflight.pop(invocation, None)
         self.cluster.engine.signal(invocation.completion_key(group_rank), clock.now)
 
     # -- destruction --------------------------------------------------------------------------
@@ -271,6 +337,12 @@ class DfcclBackend:
         )
         self.contexts = {}
         self._collectives = {}
+        self.recovery_manager = None
+        if self.config.recovery_enabled:
+            from repro.core.recovery import RecoveryManager
+
+            self.recovery_manager = RecoveryManager(self)
+            cluster.engine.add_actor(self.recovery_manager)
 
     # -- rank contexts (dfccl_init) -----------------------------------------------------------
 
@@ -280,6 +352,10 @@ class DfcclBackend:
         if ctx is None:
             ctx = RankContext(self, global_rank)
             self.contexts[global_rank] = ctx
+            if self.recovery_manager is not None:
+                self.cluster.engine.signal(
+                    self.recovery_manager.rank_registered_key
+                )
         return ctx
 
     def init_all_ranks(self, ranks=None):
@@ -309,6 +385,28 @@ class DfcclBackend:
 
     def collective(self, coll_id):
         return self._collectives[coll_id]
+
+    def unregister_collective(self, coll_id):
+        """Unregister a collective and recycle its communicator — ``dfcclUnregister``.
+
+        The communicator is handed back to the pool so a later registration
+        over the same device set reuses its channels (unless it was
+        failure-invalidated, in which case the pool discards it).
+        """
+        coll = self._collectives.get(coll_id)
+        if coll is None:
+            raise ConfigurationError(f"collective id {coll_id} is not registered")
+        # Validate every rank before mutating anything, so a rejected
+        # unregister leaves the backend fully consistent.
+        rank_contexts = [self.contexts[rank] for rank in coll.global_ranks
+                         if rank in self.contexts]
+        for ctx in rank_contexts:
+            ctx.ensure_unregisterable(coll)
+        del self._collectives[coll_id]
+        for ctx in rank_contexts:
+            ctx.unregister(coll)
+        self.pool.release(coll.communicator)
+        return coll
 
     def register_all_reduce(self, coll_id, count, ranks=None, dtype=DataType.FLOAT32,
                             op=ReduceOp.SUM, priority=0):

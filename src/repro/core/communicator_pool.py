@@ -6,6 +6,12 @@ collectives on demand, and recycles them when a collective is unregistered.
 Each concurrently registered collective gets its own communicator so that a
 preempted collective's connectors are never reused by another collective
 (required for the correctness argument of Sec. 4.5).
+
+The elastic-recovery path extends the contract to failures: a communicator
+whose channels were invalidated by a rank crash is *discarded* instead of
+recycled, and ``release_all_for`` evicts every pooled communicator spanning a
+failed device so a later ``acquire`` can never hand out channels to a dead
+peer.
 """
 
 from __future__ import annotations
@@ -24,10 +30,14 @@ class CommunicatorPool:
         self._free = defaultdict(list)
         self.created = 0
         self.reused = 0
+        self.discarded = 0
 
     @staticmethod
     def _key(devices):
-        return tuple(str(device.device_id) for device in devices)
+        # Device ids are hashable value objects; keying by the ids themselves
+        # (rather than their string form) keeps distinct devices distinct and
+        # the ordering of the member list significant.
+        return tuple(device.device_id for device in devices)
 
     def acquire(self, devices):
         """Return a communicator over ``devices``, reusing a released one if possible."""
@@ -42,11 +52,39 @@ class CommunicatorPool:
         )
 
     def release(self, communicator):
-        """Return a communicator to the pool for reuse."""
+        """Return a communicator to the pool for reuse.
+
+        Failure-invalidated communicators are discarded instead: their
+        connectors belonged to a collective that died mid-flight and must
+        never carry another collective's chunks.  Returns ``True`` when the
+        communicator was pooled, ``False`` when it was discarded.
+        """
+        if communicator.invalidated:
+            self.discarded += 1
+            return False
         communicator.reset_channels()
         key = self._key(communicator.devices)
         self._free[key].append(communicator)
+        return True
+
+    def release_all_for(self, devices):
+        """Evict every pooled communicator spanning any of ``devices``.
+
+        Used by the recovery path after a rank crash: any free communicator
+        whose member set includes a failed device can never be handed out
+        again.  Accepts devices or device ids; returns the eviction count.
+        """
+        doomed = {getattr(device, "device_id", device) for device in devices}
+        dropped = 0
+        for key in list(self._free):
+            if doomed.isdisjoint(key):
+                continue
+            dropped += len(self._free[key])
+            del self._free[key]
+        self.discarded += dropped
+        return dropped
 
     def stats(self):
         return {"created": self.created, "reused": self.reused,
+                "discarded": self.discarded,
                 "free": sum(len(v) for v in self._free.values())}

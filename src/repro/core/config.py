@@ -69,6 +69,18 @@ class DfcclConfig:
     #: Per-CQE callback execution cost on the CPU (us).
     callback_cost_us: float = 0.8
 
+    # -- fault tolerance / elastic recovery -------------------------------------------------
+    #: Enable crash detection and elastic group-shrink recovery.
+    recovery_enabled: bool = True
+    #: An in-flight collective whose CQE has not arrived after this long is
+    #: checked for failed participants (CQE-timeout crash detection).
+    crash_detect_timeout_us: float = 1500.0
+    #: Recovery manager scan interval while collectives are outstanding (us).
+    recovery_poll_interval_us: float = 250.0
+    #: Maximum recoveries per collective before giving up (guards against
+    #: cascading failures eating the whole group).
+    max_recoveries_per_collective: int = 8
+
     # -- context management ----------------------------------------------------------------
     #: Active context slots per block in shared memory (direct-mapped cache).
     active_context_slots: int = 4
@@ -120,6 +132,12 @@ class DfcclConfig:
             raise ValueError("spin_position_decay must be in (0, 1]")
         if self.spin_success_boost < 1:
             raise ValueError("spin_success_boost must be at least 1")
+        if self.crash_detect_timeout_us <= 0:
+            raise ValueError("crash_detect_timeout_us must be positive")
+        if self.recovery_poll_interval_us <= 0:
+            raise ValueError("recovery_poll_interval_us must be positive")
+        if self.max_recoveries_per_collective < 1:
+            raise ValueError("max_recoveries_per_collective must be at least 1")
         return self
 
 

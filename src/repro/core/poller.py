@@ -32,6 +32,10 @@ class Poller(Actor):
         return drained
 
     def step(self):
+        if self.ctx.device.failed:
+            # The rank process died with its GPU; nothing left to poll.
+            return StepResult.done("device failed")
+
         drained = self._drain_cq()
 
         if self.ctx.destroyed and self.ctx.outstanding == 0:

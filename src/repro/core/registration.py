@@ -14,6 +14,7 @@ from repro.collectives.primitives import PrimitiveExecutor
 from repro.collectives.selector import AlgorithmSelector
 from repro.collectives.sequences import generate_primitive_sequence
 from repro.common.errors import ConfigurationError, InvalidStateError
+from repro.common.types import CollectiveKind
 from repro.ncclsim.kernels import grid_size_for
 
 
@@ -28,24 +29,74 @@ class RegisteredCollective:
         self.devices = list(devices)
         self.priority = priority
         self.config = config
+        self.interconnect = interconnect
         self.name = name or f"dfccl-coll{coll_id}-{spec.kind.value}"
         self.communicator = communicator or Communicator(
             self.devices, interconnect, channel_capacity=config.channel_capacity
         )
-        selector = AlgorithmSelector(interconnect, cost_model=config.cost_model)
-        self.algorithm = selector.resolve(
-            config.algorithm,
-            spec.kind,
-            spec.nbytes,
-            len(self.devices),
-            [device.device_id for device in self.devices],
-        )
+        self._selector = AlgorithmSelector(interconnect, cost_model=config.cost_model)
+        self.algorithm = self._resolve_algorithm(self.devices)
         self.invocations = []
         self.run_counts = {}
+        #: Elastic-recovery state: original group ranks excluded by failure,
+        #: how many times the group was rebuilt, and whether recovery gave up
+        #: (e.g. the root of a rooted collective died — its data is gone).
+        self.excluded_ranks = set()
+        self.generation = 0
+        self.abandoned = False
+
+    def _resolve_algorithm(self, devices):
+        return self._selector.resolve(
+            self.config.algorithm,
+            self.spec.kind,
+            self.spec.nbytes,
+            len(devices),
+            [device.device_id for device in devices],
+        )
 
     @property
     def group_size(self):
         return len(self.devices)
+
+    @property
+    def rooted(self):
+        """Whether the collective's semantics depend on a specific root rank."""
+        return self.spec.kind in (CollectiveKind.BROADCAST, CollectiveKind.REDUCE)
+
+    # -- elastic recovery (group shrink) ------------------------------------------
+
+    def active_ranks(self):
+        """Original group ranks that have not been excluded by a failure.
+
+        Group ranks are *stable*: a collective registered over four devices
+        keeps ranks 0..3 forever, exclusion only removes members.  Executors
+        internally compact the surviving ranks into a dense virtual rank
+        space so the ring/tree generators see a contiguous group.
+        """
+        return [rank for rank in range(len(self.devices))
+                if rank not in self.excluded_ranks]
+
+    def active_devices(self):
+        return [self.devices[rank] for rank in self.active_ranks()]
+
+    def shrink(self, failed_ranks, pool):
+        """Exclude ``failed_ranks`` and rebuild the communicator over survivors.
+
+        The old communicator must already be invalidated (the recovery path
+        does this first); it is handed back to ``pool`` which discards it.
+        Returns the surviving original group ranks.
+        """
+        newly = set(failed_ranks) - self.excluded_ranks
+        if not newly:
+            return self.active_ranks()
+        pool.release(self.communicator)
+        self.excluded_ranks |= newly
+        survivors = self.active_ranks()
+        if survivors:
+            self.communicator = pool.acquire(self.active_devices())
+            self.algorithm = self._resolve_algorithm(self.active_devices())
+        self.generation += 1
+        return survivors
 
     @property
     def grid_size(self):
@@ -64,21 +115,50 @@ class RegisteredCollective:
                 f"device {device.name} does not participate in {self.name}"
             ) from None
 
-    def make_executor(self, group_rank):
-        """Compile this collective's primitive sequence for one rank."""
+    def make_executor(self, group_rank, participants=None, communicator=None):
+        """Compile this collective's primitive sequence for one rank.
+
+        ``participants`` (original group ranks, defaulting to the active
+        ones) defines the group the sequence spans: the rank is compacted to
+        its index within it, so after a group shrink the survivors form a
+        dense ring/tree among themselves.  ``communicator`` must be built
+        over exactly the participants' devices (the default is the
+        collective's current communicator, which matches the active ranks).
+        """
+        participants = (list(participants) if participants is not None
+                        else self.active_ranks())
+        if group_rank not in participants:
+            raise ConfigurationError(
+                f"group rank {group_rank} is not a participant of {self.name} "
+                f"(participants: {participants})"
+            )
+        communicator = communicator if communicator is not None else self.communicator
+        virtual_rank = participants.index(group_rank)
+        if self.spec.root in participants:
+            virtual_root = participants.index(self.spec.root)
+        elif self.rooted:
+            # The root's data cannot be reconstructed from the survivors;
+            # recovery must abandon the collective rather than re-root it.
+            raise ConfigurationError(
+                f"root {self.spec.root} of {self.name} is not among the "
+                f"participants {participants}; a rooted collective cannot "
+                "be re-formed without its root"
+            )
+        else:
+            virtual_root = 0
         sequence = generate_primitive_sequence(
             self.spec.kind,
-            group_rank,
-            self.group_size,
+            virtual_rank,
+            len(participants),
             self.spec.nbytes,
             chunk_bytes=self.config.chunk_bytes,
-            root=self.spec.root,
+            root=virtual_root,
             algorithm=self.algorithm,
         )
         return PrimitiveExecutor(
             collective_id=self.coll_id,
-            group_rank=group_rank,
-            communicator=self.communicator,
+            group_rank=virtual_rank,
+            communicator=communicator,
             primitives=sequence,
             cost_model=self.config.cost_model,
         )
@@ -114,6 +194,17 @@ class Invocation:
         self.submit_times = {}
         self.complete_times = {}
         self.context_switches = {}
+        #: Participant signature as of each rank's GPU completion: a rank
+        #: that finished before a later recovery keeps the group identity it
+        #: actually reduced over.
+        self.completion_signatures = {}
+        #: Elastic-recovery state: the ranks expected to complete (survivors),
+        #: the subset re-executing from scratch, and the dedicated
+        #: communicator the re-run uses when some survivors already finished.
+        self.recovery_generation = 0
+        self._participants = None
+        self._rerun_ranks = None
+        self._rerun_communicator = None
 
     # -- identity ----------------------------------------------------------------
 
@@ -133,9 +224,45 @@ class Invocation:
     def executor_for(self, group_rank):
         executor = self._executors.get(group_rank)
         if executor is None:
-            executor = self.coll.make_executor(group_rank)
+            if self._rerun_ranks is not None and group_rank in self._rerun_ranks:
+                executor = self.coll.make_executor(
+                    group_rank,
+                    participants=self._rerun_ranks,
+                    communicator=self._rerun_communicator,
+                )
+            else:
+                executor = self.coll.make_executor(group_rank)
             self._executors[group_rank] = executor
         return executor
+
+    def begin_recovery(self, participants, rerun_ranks, communicator):
+        """Re-form this in-flight invocation over the surviving ranks.
+
+        ``participants`` are the ranks whose completion the invocation now
+        expects; ``rerun_ranks`` (⊆ participants) restart their primitive
+        sequence from position 0 over ``communicator``.  Cached executors of
+        re-running ranks are dropped so the next ``executor_for`` compiles
+        the shrunken sequence.
+        """
+        self._participants = list(participants)
+        self._rerun_ranks = list(rerun_ranks)
+        self._rerun_communicator = communicator
+        self.recovery_generation += 1
+        for rank in rerun_ranks:
+            self._executors.pop(rank, None)
+
+    def executor_if_cached(self, group_rank):
+        """The executor this rank actually ran, without compiling a new one."""
+        return self._executors.get(group_rank)
+
+    def take_rerun_communicator(self):
+        """Detach and return the dedicated rerun communicator (or ``None``).
+
+        Called when the rerun finished (to recycle the communicator) or when
+        a further failure supersedes it (to invalidate it).
+        """
+        communicator, self._rerun_communicator = self._rerun_communicator, None
+        return communicator
 
     def set_callback(self, group_rank, callback):
         self._callbacks[group_rank] = callback
@@ -160,6 +287,7 @@ class Invocation:
             )
         self._gpu_complete_ranks.add(group_rank)
         self.complete_times[group_rank] = time_us
+        self.completion_signatures[group_rank] = self.participant_signature()
 
     def mark_callback_fired(self, group_rank):
         self._callback_fired_ranks.add(group_rank)
@@ -174,8 +302,26 @@ class Invocation:
         """True once the rank's callback has run (the user-visible completion)."""
         return group_rank in self._callback_fired_ranks
 
+    def expected_ranks(self):
+        """Group ranks whose completion this invocation waits for."""
+        if self._participants is not None:
+            return set(self._participants)
+        return set(self.coll.active_ranks())
+
+    def submitted_ranks(self):
+        return set(self._submitted_ranks)
+
+    def participant_signature(self):
+        """Deterministic identity of the contributing rank set.
+
+        Every surviving rank must observe the same signature when its
+        callback fires — this is the simulation-level analogue of all ranks
+        holding byte-identical reduction results.
+        """
+        return (self.recovery_generation, tuple(sorted(self.expected_ranks())))
+
     def fully_complete(self):
-        return len(self._gpu_complete_ranks) == self.group_size
+        return self.expected_ranks().issubset(self._gpu_complete_ranks)
 
     def __repr__(self):
         return (

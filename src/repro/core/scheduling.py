@@ -196,6 +196,7 @@ class DaemonStats:
     launches: int = 0
     voluntary_quits: int = 0
     final_exits: int = 0
+    recovery_restarts: int = 0
     sqes_read: int = 0
     cqes_written: int = 0
     preemptions: int = 0

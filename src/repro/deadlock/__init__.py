@@ -10,6 +10,11 @@ dependency graph for cycles; a cycle is a deadlock and ends the round.
 """
 
 from repro.deadlock.dependency_graph import DependencyGraph
+from repro.deadlock.fault_scenarios import (
+    FAULT_DEADLOCK_SCENARIOS,
+    FaultDeadlockAnalysis,
+    analyze_fault_deadlock,
+)
 from repro.deadlock.grouping import FreeGroupingPolicy, GpuGroup, ThreeDGroupingPolicy
 from repro.deadlock.models import SingleQueueModel, SynchronizationModel
 from repro.deadlock.simulator import DeadlockSimulator, RoundResult, estimate_deadlock_ratio
@@ -18,6 +23,8 @@ from repro.deadlock.configs import TABLE1_CONFIGS, Table1Config, table1_rows
 __all__ = [
     "DeadlockSimulator",
     "DependencyGraph",
+    "FAULT_DEADLOCK_SCENARIOS",
+    "FaultDeadlockAnalysis",
     "FreeGroupingPolicy",
     "GpuGroup",
     "RoundResult",
@@ -26,6 +33,7 @@ __all__ = [
     "TABLE1_CONFIGS",
     "Table1Config",
     "ThreeDGroupingPolicy",
+    "analyze_fault_deadlock",
     "estimate_deadlock_ratio",
     "table1_rows",
 ]

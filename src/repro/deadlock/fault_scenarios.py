@@ -1,0 +1,196 @@
+"""Fault-induced deadlock analysis: engine reports → wait-for cycles.
+
+The round-based simulator in this package predicts deadlock *ratios* from
+abstract invocation orders; this module closes the loop for *fault-induced*
+deadlocks observed in the full engine.  When a rank crashes mid-collective,
+the engine's deadlock report contains the blocked actors and the wait keys
+they can never see signalled.  :func:`analyze_fault_deadlock` lifts that
+report into the same :class:`DependencyGraph` formalism used by Sec. 2.4:
+
+* nodes are ranks (one per GPU) plus one ``("crashed", rank)`` node per dead
+  device;
+* an edge ``A -> B`` means rank A busy-waits on data (or buffer space, or a
+  kernel completion) that only rank B can produce;
+* a crashed rank points at its crash marker and the marker points back —
+  the standard wait-for-graph encoding of a failed process that holds its
+  resources forever and waits on a recovery that never comes.
+
+A cycle through a ``crashed`` node is the signature of a fault-induced hang:
+every path of waiters that reaches the dead rank can never be satisfied.  The
+same analysis on a DFCCL run comes back empty, because the daemon kernel's
+bounded spinning means no actor ever *blocks* on a dead peer — it preempts,
+and the recovery layer re-forms the group.
+
+``FAULT_DEADLOCK_SCENARIOS`` names the canned fault plans the chaos
+experiments and CI smoke tests replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collectives.channels import channel_by_id
+from repro.deadlock.dependency_graph import DependencyGraph
+
+
+@dataclass
+class FaultDeadlockAnalysis:
+    """Wait-for structure extracted from an engine deadlock under faults."""
+
+    time_us: float
+    blocked_actors: list = field(default_factory=list)
+    edges: dict = field(default_factory=dict)
+    cycle: list = None
+    crashed_ranks: tuple = ()
+
+    @property
+    def deadlocked(self):
+        return bool(self.blocked_actors)
+
+    @property
+    def fault_induced(self):
+        """True when the wait-for cycle passes through a crashed rank."""
+        if not self.cycle:
+            return False
+        return any(node[0] == "crashed" for node in self.cycle)
+
+    def involved_ranks(self):
+        return sorted({node[1] for node in self.edges} |
+                      {target[1] for targets in self.edges.values()
+                       for target in targets})
+
+
+def _rank_of_device_id(cluster, device_id):
+    return cluster.devices.index(cluster.device_by_id(device_id))
+
+
+def _resolve_key_rank(key, cluster, actors_by_name):
+    """The rank that would have signalled ``key``, or ``None``."""
+    tag = key[0] if isinstance(key, tuple) and key else None
+    if tag == "chan-readable" or tag == "chan-writable":
+        channel = channel_by_id(key[1])
+        if channel is None:
+            return None
+        device_id = channel.src_device if tag == "chan-readable" else channel.dst_device
+        return _rank_of_device_id(cluster, device_id)
+    if tag == "kernel-done":
+        actor = actors_by_name.get(key[1])
+        device = getattr(actor, "device", None)
+        if device is None:
+            return None
+        return cluster.devices.index(device)
+    if tag in ("nccl-op-done", "nccl-op-done-all"):
+        from repro.ncclsim.ops import op_by_id
+
+        op = op_by_id(key[1])
+        if op is None:
+            return None
+        if tag == "nccl-op-done":
+            device = op.devices[key[2]]
+        else:
+            incomplete = op.incomplete_ranks()
+            if not incomplete:
+                return None
+            device = op.devices[incomplete[0]]
+        return cluster.devices.index(device)
+    return None
+
+
+def analyze_fault_deadlock(report, cluster):
+    """Lift an engine :class:`DeadlockReport` into a rank-level wait-for graph.
+
+    Returns a :class:`FaultDeadlockAnalysis`; ``report`` may be ``None`` (no
+    deadlock was recorded), in which case the analysis is empty.
+    """
+    analysis = FaultDeadlockAnalysis(
+        time_us=report.time_us if report is not None else 0.0,
+        crashed_ranks=tuple(
+            cluster.devices.index(device) for device in cluster.failed_devices()
+        ),
+    )
+    if report is None:
+        return analysis
+
+    analysis.blocked_actors = list(report.involved())
+    actors_by_name = {actor.name: actor for actor in cluster.engine.actors()}
+    graph = DependencyGraph()
+
+    for actor in report.blocked_actors:
+        device = getattr(actor, "device", None)
+        if device is None:
+            continue
+        src = ("rank", cluster.devices.index(device))
+        for key in report.wait_graph.get(actor.name, ()):
+            dst_rank = _resolve_key_rank(key, cluster, actors_by_name)
+            if dst_rank is not None:
+                graph.add_edge(src, ("rank", dst_rank))
+
+    # A crashed rank holds its resources forever while "waiting" on a
+    # recovery that never happens: encode that as a two-node cycle so every
+    # chain of waiters reaching the dead rank is part of an irresolvable
+    # wait-for cycle.
+    for rank in analysis.crashed_ranks:
+        graph.add_edge(("rank", rank), ("crashed", rank))
+        graph.add_edge(("crashed", rank), ("rank", rank))
+
+    analysis.edges = graph.edges()
+    analysis.cycle = graph.find_cycle()
+    return analysis
+
+
+# -- canned fault-deadlock scenarios ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultScenarioSpec:
+    """A named fault plan recipe over a given world size."""
+
+    name: str
+    description: str
+    build: object  # callable(world_size, horizon_us) -> FaultPlan
+
+
+def _crash_mid_collective(world_size, horizon_us):
+    from repro.faults.plan import FaultPlan
+
+    victim = world_size // 2
+    return FaultPlan(name="crash-mid-collective").add_crash(
+        victim, at_us=0.25 * horizon_us
+    )
+
+
+def _crash_under_disorder(world_size, horizon_us):
+    from repro.faults.plan import FaultPlan
+
+    victim = max(1, world_size - 1)
+    return (FaultPlan(name="crash-under-disorder")
+            .add_kernel_stall(0, at_us=0.1 * horizon_us, duration_us=50.0)
+            .add_crash(victim, at_us=0.3 * horizon_us))
+
+
+def _flap_then_crash(world_size, horizon_us):
+    from repro.faults.plan import FaultPlan
+
+    return (FaultPlan(name="flap-then-crash")
+            .add_link_flap(0, world_size // 2, at_us=0.1 * horizon_us,
+                           duration_us=0.1 * horizon_us)
+            .add_crash(world_size // 2, at_us=0.45 * horizon_us))
+
+
+FAULT_DEADLOCK_SCENARIOS = {
+    "crash-mid-collective": FaultScenarioSpec(
+        "crash-mid-collective",
+        "one rank dies while an all-reduce is in flight",
+        _crash_mid_collective,
+    ),
+    "crash-under-disorder": FaultScenarioSpec(
+        "crash-under-disorder",
+        "a kernel stall reorders progress, then a rank dies",
+        _crash_under_disorder,
+    ),
+    "flap-then-crash": FaultScenarioSpec(
+        "flap-then-crash",
+        "an inter-node link flaps before one of its endpoints dies",
+        _flap_then_crash,
+    ),
+}

@@ -1,0 +1,301 @@
+"""Chaos scenarios: both backends driven through the same fault plan.
+
+Every runner builds a fresh cluster, installs a :class:`FaultInjector` for the
+given plan, runs the same collective workload through DFCCL or the NCCL-style
+baseline, and reports what survived:
+
+* the baseline's dedicated kernels block unboundedly on dead peers, so a rank
+  crash turns into an engine-level deadlock whose wait-for cycle
+  :func:`repro.deadlock.fault_scenarios.analyze_fault_deadlock` extracts;
+* DFCCL's daemon kernels preempt instead of blocking, the recovery manager
+  detects the crash via CQE timeout, shrinks the group, and the surviving
+  ranks complete every remaining collective — with byte-identical reduction
+  results, which the scenario checks through per-rank reduction fingerprints
+  computed independently in each rank's completion callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.rng import DeterministicRNG
+from repro.core import DfcclBackend, DfcclConfig
+from repro.deadlock.fault_scenarios import analyze_fault_deadlock
+from repro.faults.injector import install_fault_plan
+from repro.faults.plan import FaultPlan
+from repro.gpusim import HostProgram, build_cluster
+from repro.ncclsim import NcclBackend
+from repro.ncclsim.program import launch_collective, wait_collective
+
+#: Default virtual-time deadline: a run not finished by then is stuck.
+DEFAULT_DEADLINE_US = 120_000.0
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one backend run under one fault plan."""
+
+    backend: str
+    plan: dict
+    outcome: str                      # "completed" | "stuck" | "deadlock"
+    time_us: float = 0.0
+    crashed_ranks: tuple = ()
+    survivor_ranks: tuple = ()
+    expected_per_survivor: int = 0
+    completions: dict = field(default_factory=dict)   # rank -> [records]
+    recovery: dict = field(default_factory=dict)
+    analysis: object = None
+    injected: list = field(default_factory=list)
+
+    @property
+    def deadlocked(self):
+        return self.outcome == "deadlock"
+
+    def min_survivor_completions(self):
+        if not self.survivor_ranks:
+            return 0
+        return min(len(self.completions.get(rank, ()))
+                   for rank in self.survivor_ranks)
+
+    def reduction_fingerprints(self):
+        """Per-invocation reduction results, grouped across survivors.
+
+        Returns ``{(coll_id, index): {rank: (signature, reduced_sum)}}``.
+        Ranks sharing a signature (same recovery generation and participant
+        set) must hold byte-identical sums; a survivor whose callback fired
+        *before* a crash legitimately keeps the pre-crash full-group result,
+        which the signature's generation field makes distinguishable.
+        """
+        grouped = {}
+        for rank, records in self.completions.items():
+            for record in records:
+                key = (record["coll_id"], record["index"])
+                grouped.setdefault(key, {})[rank] = (
+                    record["signature"], record["reduced"]
+                )
+        return grouped
+
+    def fingerprints_consistent(self):
+        """True when every rank pair sharing a signature agrees on the sum."""
+        for per_rank in self.reduction_fingerprints().values():
+            by_signature = {}
+            for signature, reduced in per_rank.values():
+                by_signature.setdefault(signature, set()).add(reduced)
+            if any(len(values) > 1 for values in by_signature.values()):
+                return False
+        return True
+
+
+def contribution_values(ranks, seed):
+    """Deterministic per-rank integer contributions to the reductions."""
+    rng = DeterministicRNG(seed)
+    return {rank: rng.child("contribution", rank).randint(1, 1 << 20)
+            for rank in ranks}
+
+
+def _survivors(ranks, plan):
+    crashed = set(plan.crash_ranks())
+    return tuple(rank for rank in ranks if rank not in crashed)
+
+
+# -- DFCCL under chaos ---------------------------------------------------------------
+
+
+def run_dfccl_chaos(plan, topology="dual-3090-nvlink", world_size=16,
+                    num_collectives=3, nbytes=1 << 20, iterations=2,
+                    config=None, recovery=True, deadline_us=DEFAULT_DEADLINE_US,
+                    seed=17):
+    """Run a DFCCL all-reduce workload with ``plan`` injected.
+
+    Each surviving rank's completion callback independently recomputes the
+    reduction over the invocation's participant set, so the result records
+    double as byte-identical-reduction checks.
+    """
+    cluster = build_cluster(topology, deadlock_mode="record")
+    base = config or DfcclConfig()
+    backend = DfcclBackend(cluster, base.with_overrides(recovery_enabled=recovery))
+    ranks = list(range(world_size))
+    if world_size > cluster.world_size:
+        raise ValueError(f"topology {topology} has only {cluster.world_size} GPUs")
+    backend.init_all_ranks(ranks)
+    for coll_id in range(num_collectives):
+        backend.register_all_reduce(coll_id, count=max(1, nbytes // 4), ranks=ranks)
+
+    injector = install_fault_plan(cluster, plan)
+    contributions = contribution_values(ranks, seed)
+    completions = {rank: [] for rank in ranks}
+
+    def make_callback(global_rank):
+        def callback(invocation):
+            group_rank = invocation.coll.global_ranks.index(global_rank)
+            # The signature this rank's GPU part actually completed under —
+            # a survivor that finished before a crash keeps the pre-crash
+            # full-group identity even though its callback fires later.
+            signature = invocation.completion_signatures.get(
+                group_rank, invocation.participant_signature()
+            )
+            # The reduction is recomputed from the member set of the
+            # communicator this rank *actually* communicated over — per-rank
+            # ground truth, so a rank left running a stale pre-recovery
+            # executor would report a different sum than its signature group.
+            executor = invocation.executor_if_cached(group_rank)
+            if executor is not None:
+                members = [cluster.rank_of(device)
+                           for device in executor.communicator.devices]
+            else:
+                members = [invocation.coll.global_ranks[rank]
+                           for rank in signature[1]]
+            completions[global_rank].append({
+                "coll_id": invocation.coll_id,
+                "index": invocation.index,
+                "signature": signature,
+                "reduced": sum(contributions[rank] for rank in members),
+                "time_us": invocation.complete_times.get(group_rank),
+            })
+        return callback
+
+    programs = []
+    for rank in ranks:
+        ops = []
+        for _ in range(iterations):
+            handles = [backend.submit(rank, coll_id, callback=make_callback(rank))
+                       for coll_id in range(num_collectives)]
+            ops.extend(handle.submit_op() for handle in handles)
+            ops.extend(handle.wait_op() for handle in handles)
+        ops.append(backend.destroy_op(rank))
+        programs.append(HostProgram(ops))
+    cluster.add_hosts(programs)
+
+    final_time = cluster.run(until_us=deadline_us)
+
+    survivors = _survivors(ranks, plan)
+    expected = num_collectives * iterations
+    done = all(len(completions[rank]) >= expected for rank in survivors)
+    manager = backend.recovery_manager
+    recovery_summary = {}
+    if manager is not None:
+        stats = manager.stats
+        recovery_summary = {
+            "recoveries": stats.recoveries,
+            "invocations_rerun": stats.invocations_rerun,
+            "suspected_stragglers": stats.suspected_stragglers,
+            "abandoned": stats.abandoned,
+            "events": [
+                {
+                    "time_us": event.time_us,
+                    "coll_id": event.coll_id,
+                    "failed_ranks": event.failed_ranks,
+                    "survivor_ranks": event.survivor_ranks,
+                    "detection_latency_us": event.detection_latency_us,
+                    "generation": event.generation,
+                }
+                for event in stats.events
+            ],
+        }
+    result = ChaosResult(
+        backend="dfccl" if recovery else "dfccl-no-recovery",
+        plan=plan.describe(),
+        outcome="completed" if done else "stuck",
+        time_us=final_time,
+        crashed_ranks=tuple(plan.crash_ranks()),
+        survivor_ranks=survivors,
+        expected_per_survivor=expected,
+        completions=completions,
+        recovery=recovery_summary,
+        injected=list(injector.applied),
+    )
+    result.daemon_stats = backend.all_stats()
+    return result
+
+
+# -- NCCL baseline under chaos ----------------------------------------------------------
+
+
+def run_nccl_chaos(plan, topology="dual-3090-nvlink", world_size=16,
+                   num_collectives=3, nbytes=1 << 20, iterations=2,
+                   deadline_us=DEFAULT_DEADLINE_US):
+    """Run the same workload through the dedicated-kernel baseline."""
+    cluster = build_cluster(topology, deadlock_mode="record")
+    nccl = NcclBackend(cluster)
+    ranks = list(range(world_size))
+    if world_size > cluster.world_size:
+        raise ValueError(f"topology {topology} has only {cluster.world_size} GPUs")
+    comm = nccl.create_communicator(ranks=ranks)
+    count = max(1, nbytes // 4)
+    ops_by_iter = [
+        [comm.all_reduce(iteration * num_collectives + coll_id, count)
+         for coll_id in range(num_collectives)]
+        for iteration in range(iterations)
+    ]
+
+    injector = install_fault_plan(cluster, plan)
+
+    programs = []
+    for rank in ranks:
+        ops = []
+        for iteration_ops in ops_by_iter:
+            for op in iteration_ops:
+                ops.append(launch_collective(nccl, op, rank))
+            for op in iteration_ops:
+                ops.append(wait_collective(op, comm.group_rank(rank)))
+        programs.append(HostProgram(ops))
+    cluster.add_hosts(programs)
+
+    final_time = cluster.run(until_us=deadline_us)
+    report = cluster.engine.deadlock_report
+    analysis = analyze_fault_deadlock(report, cluster)
+
+    completions = {
+        rank: [
+            {"coll_id": op.op_id, "index": 0,
+             "signature": (0, tuple(sorted(range(op.group_size)))),
+             "reduced": None}
+            for iteration_ops in ops_by_iter for op in iteration_ops
+            if op.is_complete(comm.group_rank(rank))
+        ]
+        for rank in ranks
+    }
+    survivors = _survivors(ranks, plan)
+    expected = num_collectives * iterations
+    if report is not None:
+        outcome = "deadlock"
+    elif all(len(completions[rank]) >= expected for rank in survivors):
+        outcome = "completed"
+    else:
+        outcome = "stuck"
+    return ChaosResult(
+        backend="nccl",
+        plan=plan.describe(),
+        outcome=outcome,
+        time_us=final_time,
+        crashed_ranks=tuple(plan.crash_ranks()),
+        survivor_ranks=survivors,
+        expected_per_survivor=expected,
+        completions=completions,
+        analysis=analysis,
+        injected=list(injector.applied),
+    )
+
+
+# -- the headline comparison -----------------------------------------------------------
+
+
+def chaos_rank_crash_comparison(topology="dual-3090-nvlink", world_size=16,
+                                crash_rank=None, crash_at_us=120.0,
+                                nbytes=1 << 20, num_collectives=2, iterations=2,
+                                seed=17, config=None,
+                                deadline_us=DEFAULT_DEADLINE_US):
+    """Rank crash mid-all-reduce: the baseline wedges, DFCCL shrinks and finishes.
+
+    Returns ``{"plan", "nccl", "dfccl"}`` where the NCCL result carries the
+    wait-for-cycle analysis and the DFCCL result carries recovery events and
+    per-rank reduction fingerprints.
+    """
+    victim = crash_rank if crash_rank is not None else world_size // 2
+    plan = FaultPlan(name="rank-crash-mid-allreduce").add_crash(victim, crash_at_us)
+    nccl = run_nccl_chaos(plan, topology, world_size, num_collectives, nbytes,
+                          iterations, deadline_us=deadline_us)
+    dfccl = run_dfccl_chaos(plan, topology, world_size, num_collectives, nbytes,
+                            iterations, config=config, recovery=True,
+                            deadline_us=deadline_us, seed=seed)
+    return {"plan": plan.describe(), "nccl": nccl, "dfccl": dfccl}

@@ -145,6 +145,30 @@ class Cluster:
     def pinned_allocator(self, node_index):
         return self._pinned[node_index]
 
+    def failed_devices(self):
+        return [device for device in self.devices if device.failed]
+
+    def hosts_for_device(self, device):
+        """Host threads (rank processes) bound to one GPU."""
+        return [host for host in self.hosts.values() if host.device is device]
+
+    # -- fault injection --------------------------------------------------------
+
+    def fail_rank(self, rank, time_us):
+        """Crash one rank: the GPU and every host process driving it die.
+
+        Returns the killed kernel and host actors.  Everything else — peer
+        kernels blocked on the dead rank's connectors, pending collectives —
+        is deliberately left in place: observing how the rest of the system
+        copes is the point of injecting the fault.
+        """
+        device = self.device(rank)
+        killed = device.fail(time_us)
+        for host in self.hosts_for_device(device):
+            if self.engine.kill_actor(host, time_us):
+                killed.append(host)
+        return killed
+
     # -- host threads ----------------------------------------------------------
 
     def add_host(self, rank, program=None, name=None):

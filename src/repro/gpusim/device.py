@@ -43,6 +43,7 @@ class KernelActor(Actor):
         self.launched = True
         self.launch_time_us = time_us
         self.clock.advance_to(time_us)
+        self.clock.rate = self.device.slowdown_factor
 
     def complete(self, detail="kernel complete"):
         """Mark the kernel finished and notify the device.  Returns DONE."""
@@ -117,6 +118,11 @@ class GpuDevice(Actor):
         self._sequence = itertools.count()
         self._barrier_ids = itertools.count()
 
+        # Fault state (driven by repro.faults).
+        self.failed = False
+        self.fail_time_us = None
+        self.slowdown_factor = 1.0
+
         # Statistics used by experiments.
         self.launch_count = 0
         self.sync_count = 0
@@ -133,6 +139,68 @@ class GpuDevice(Actor):
     def idle_key(self):
         """Signalled whenever the device becomes completely idle."""
         return ("gpu-idle", str(self.device_id))
+
+    @property
+    def failed_key(self):
+        """Signalled once when the device fails (crash detection hook)."""
+        return ("gpu-failed", str(self.device_id))
+
+    # -- fault injection -------------------------------------------------------
+
+    def fail(self, time_us):
+        """Crash the device: every resident kernel dies where it stands.
+
+        Kernels are removed from engine scheduling without completion
+        callbacks — their blocks are never reclaimed and their peers never
+        receive another chunk, exactly as when a real rank process dies.
+        Queued (not yet launched) kernels are dropped with the device.
+        """
+        if self.failed:
+            return []
+        self.failed = True
+        self.fail_time_us = time_us
+        killed = []
+        for kernel in list(self.resident):
+            if self.engine is not None:
+                self.engine.kill_actor(kernel, time_us)
+            killed.append(kernel)
+        for stream in self.streams.values():
+            stream.drop_pending()
+        if self.engine is not None:
+            self.engine.kill_actor(self, time_us)
+            self.engine.signal(self.failed_key, time_us)
+        return killed
+
+    def set_slowdown(self, factor, time_us=None):
+        """Dilate the device's virtual time by ``factor`` (straggler model).
+
+        Applies to the device clock and every resident kernel; kernels
+        launched later inherit the factor at launch.
+        """
+        if factor < 1.0:
+            raise InvalidStateError(f"slowdown factor must be >= 1, got {factor}")
+        self.slowdown_factor = float(factor)
+        self.clock.rate = self.slowdown_factor
+        for kernel in self.resident:
+            kernel.clock.rate = self.slowdown_factor
+        return self.slowdown_factor
+
+    def stall_resident(self, duration_us, time_us=None):
+        """Freeze every resident kernel for ``duration_us`` (transient stall).
+
+        The stall is an externally-timed event anchored at ``time_us`` (the
+        fault time; each kernel's possibly-lagging local clock otherwise):
+        kernels resume no earlier than stall start + duration, with no
+        rate dilation.  A kernel already past that point is unaffected.
+        """
+        stalled = []
+        for kernel in self.resident:
+            start = kernel.now if time_us is None else max(kernel.now, time_us)
+            kernel.clock.advance_to(start + duration_us)
+            if self.engine is not None:
+                self.engine.observe_time(kernel.now)
+            stalled.append(kernel)
+        return stalled
 
     # -- streams --------------------------------------------------------------
 
@@ -152,6 +220,10 @@ class GpuDevice(Actor):
 
     def enqueue_kernel(self, kernel, stream_name="default", time_us=0.0):
         """Enqueue ``kernel`` on a stream (host side of a kernel launch)."""
+        if self.failed:
+            raise InvalidStateError(
+                f"cannot enqueue {kernel.name}: device {self.name} has failed"
+            )
         stream = self.get_stream(stream_name)
         sequence = self.next_sequence()
         item = stream.enqueue(kernel, sequence, time_us)

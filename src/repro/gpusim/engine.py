@@ -167,6 +167,11 @@ class Engine:
         if time_us > self._horizon:
             self._horizon = time_us
 
+    def observe_time(self, time_us):
+        """Public form of the horizon update, for external clock mutations
+        (fault injection advances kernel clocks outside a step)."""
+        self._observe_time(time_us)
+
     # -- signalling ----------------------------------------------------------
 
     def signal(self, key, time_us=None):
@@ -203,6 +208,30 @@ class Engine:
         self._blocked[actor] = tuple(keys)
         for key in keys:
             self._waiters.setdefault(key, set()).add(actor)
+
+    # -- fault injection -----------------------------------------------------
+
+    def kill_actor(self, actor, time_us=None):
+        """Remove an actor from scheduling immediately (fault injection).
+
+        The actor is marked finished and unhooked from every wait key; stale
+        ready/sleep heap entries are skipped lazily.  Unlike a normal DONE
+        step, the actor gets no chance to clean up — this models a crash.
+        """
+        if actor.finished:
+            return False
+        actor.finished = True
+        if time_us is not None:
+            actor.clock.advance_to(time_us)
+            self._observe_time(actor.now)
+        keys = self._blocked.pop(actor, ())
+        for key in keys:
+            group = self._waiters.get(key)
+            if group is not None:
+                group.discard(actor)
+                if not group:
+                    self._waiters.pop(key, None)
+        return True
 
     # -- main loop -----------------------------------------------------------
 

@@ -100,10 +100,91 @@ class Interconnect:
         self.topology = topology.validate()
         self.pix_group_size = self.topology.pix_group_size
         self._overrides = dict(overrides or {})
+        self._pair_degradations = {}
+        self._device_degradations = {}
 
     def override(self, device_a, device_b, spec):
         """Force a specific link between two devices (both directions)."""
         self._overrides[self._key(device_a, device_b)] = spec
+
+    # -- fault injection: degradable links ------------------------------------
+
+    @staticmethod
+    def _remove_degradation(entries_by_key, key, beta_factor, alpha_add_us):
+        """Remove one degradation entry (a specific one, or the oldest)."""
+        entries = entries_by_key.get(key)
+        if not entries:
+            return
+        wanted = ((float(beta_factor), float(alpha_add_us))
+                  if beta_factor is not None else entries[0])
+        if wanted in entries:
+            entries.remove(wanted)
+        else:
+            entries.pop(0)
+        if not entries:
+            del entries_by_key[key]
+
+    def degrade_link(self, device_a, device_b, beta_factor=1.0, alpha_add_us=0.0):
+        """Degrade the link between two devices (bandwidth / latency fault).
+
+        ``beta_factor`` divides the bandwidth, ``alpha_add_us`` is added to
+        the per-message latency.  Degradations *stack*: overlapping faults on
+        the same link each contribute an entry (worst bandwidth factor wins,
+        latencies add), and each ``restore_link`` removes one entry, so one
+        fault ending never cancels another still in progress.  They affect
+        transfers started after the call; chunks already pushed keep their
+        arrival times.
+        """
+        if beta_factor < 1.0:
+            raise ConfigurationError(
+                f"beta_factor must be at least 1, got {beta_factor}"
+            )
+        self._pair_degradations.setdefault(self._key(device_a, device_b), []).append(
+            (float(beta_factor), float(alpha_add_us))
+        )
+
+    def restore_link(self, device_a, device_b, beta_factor=None, alpha_add_us=0.0):
+        """Remove one degradation between two devices (that fault ended)."""
+        self._remove_degradation(
+            self._pair_degradations, self._key(device_a, device_b),
+            beta_factor, alpha_add_us,
+        )
+
+    def degrade_device_links(self, device, beta_factor=1.0, alpha_add_us=0.0):
+        """Degrade every link touching one device (NIC / PCIe-root fault)."""
+        if beta_factor < 1.0:
+            raise ConfigurationError(
+                f"beta_factor must be at least 1, got {beta_factor}"
+            )
+        key = (device.node, device.local_rank)
+        self._device_degradations.setdefault(key, []).append(
+            (float(beta_factor), float(alpha_add_us))
+        )
+
+    def restore_device_links(self, device, beta_factor=None, alpha_add_us=0.0):
+        self._remove_degradation(
+            self._device_degradations, (device.node, device.local_rank),
+            beta_factor, alpha_add_us,
+        )
+
+    def _degradation_for(self, device_a, device_b):
+        """Combined (beta_factor, alpha_add) of pair and endpoint degradations."""
+        factor, alpha_add = 1.0, 0.0
+        entries = list(self._pair_degradations.get(
+            self._key(device_a, device_b), ()))
+        for device in (device_a, device_b):
+            entries.extend(self._device_degradations.get(
+                (device.node, device.local_rank), ()))
+        for entry_factor, entry_alpha in entries:
+            factor = max(factor, entry_factor)
+            alpha_add += entry_alpha
+        return factor, alpha_add
+
+    @property
+    def degraded_links(self):
+        """Number of currently active degradations (introspection)."""
+        return (sum(len(entries) for entries in self._pair_degradations.values())
+                + sum(len(entries) for entries in self._device_degradations.values()))
 
     @staticmethod
     def _key(device_a, device_b):
@@ -141,11 +222,21 @@ class Interconnect:
             raise TypeError("link() expects DeviceId arguments")
         key = self._key(device_a, device_b)
         if key in self._overrides:
-            return self._overrides[key]
-        locality = self.locality(device_a, device_b)
-        if locality is LinkType.RDMA:
-            return LinkSpec.of(LinkType.RDMA, beta_gbps=self.topology.rdma_beta_gbps)
-        return LinkSpec.of(locality)
+            spec = self._overrides[key]
+        else:
+            locality = self.locality(device_a, device_b)
+            if locality is LinkType.RDMA:
+                spec = LinkSpec.of(LinkType.RDMA, beta_gbps=self.topology.rdma_beta_gbps)
+            else:
+                spec = LinkSpec.of(locality)
+        factor, alpha_add = self._degradation_for(device_a, device_b)
+        if factor > 1.0 or alpha_add > 0.0:
+            spec = LinkSpec(
+                link_type=spec.link_type,
+                alpha_us=spec.alpha_us + alpha_add,
+                beta_gbps=spec.beta_gbps / factor,
+            )
+        return spec
 
     def transfer_time_us(self, device_a, device_b, nbytes):
         """Time to move ``nbytes`` between the two devices."""

@@ -60,6 +60,12 @@ class Stream:
         self.launched_count += 1
         return item
 
+    def drop_pending(self):
+        """Discard every not-yet-launched item (the device failed)."""
+        dropped = [item for item in self._items if not item.launched]
+        self._items = deque(item for item in self._items if item.launched)
+        return dropped
+
     @property
     def pending(self):
         """Number of enqueued-but-not-launched kernels."""

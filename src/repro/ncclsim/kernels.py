@@ -38,6 +38,26 @@ class NcclCollectiveKernel(KernelActor):
         self.rank = rank
         self.blocked_polls = 0
 
+    def waiting_on(self):
+        """The peer device this kernel's current primitive is stuck on.
+
+        Returns ``(device_id, direction)`` — the device whose send (or
+        consume) the kernel busy-waits for — or ``None`` when the kernel can
+        progress.  A dedicated kernel has no notion of peer failure: if the
+        returned device is dead, the kernel waits forever while holding its
+        blocks (the hold-and-wait + no-preemption conditions under faults).
+        """
+        outcome = self.executor.peek_blockers(self.now)
+        primitive = outcome.primitive
+        if primitive is None:
+            return None
+        communicator = self.executor.communicator
+        if outcome.outcome.value == "wait_recv":
+            return communicator.device_id(primitive.recv_peer), "recv"
+        if outcome.outcome.value == "wait_send":
+            return communicator.device_id(primitive.send_peer), "send"
+        return None
+
     def run_step(self):
         for _ in range(self.PRIMITIVES_PER_STEP):
             outcome = self.executor.try_execute_current(self.clock, self.engine)

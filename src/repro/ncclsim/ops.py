@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import weakref
 
 from repro.collectives.channels import Communicator
 from repro.collectives.primitives import PrimitiveExecutor
@@ -11,6 +12,16 @@ from repro.collectives.sequences import DEFAULT_CHUNK_BYTES, generate_primitive_
 from repro.common.errors import InvalidStateError
 
 _op_ids = itertools.count()
+
+#: Ops by id, for wait-key attribution: fault analysis resolves an
+#: ``("nccl-op-done", op_id, rank)`` wait key back to the device that would
+#: have signalled it.
+_ops_by_id = weakref.WeakValueDictionary()
+
+
+def op_by_id(op_id):
+    """Resolve an op id from an engine wait key, or ``None`` if gone."""
+    return _ops_by_id.get(op_id)
 
 
 class NcclCollectiveOp:
@@ -39,6 +50,7 @@ class NcclCollectiveOp:
         )
         self._complete_ranks = {}
         self._kernels = {}
+        _ops_by_id[self.op_id] = self
 
     @property
     def group_size(self):
@@ -85,6 +97,10 @@ class NcclCollectiveOp:
 
     def is_complete(self, group_rank):
         return group_rank in self._complete_ranks
+
+    def incomplete_ranks(self):
+        return [rank for rank in range(self.group_size)
+                if rank not in self._complete_ranks]
 
     def fully_complete(self):
         return len(self._complete_ranks) == self.group_size

@@ -16,6 +16,8 @@ from repro.deadlock.dependency_graph import DependencyGraph
 from repro.deadlock.grouping import GroupedWorkload
 from repro.deadlock.models import make_model
 
+pytestmark = pytest.mark.timeout(300)
+
 
 class TestDependencyGraph:
     def test_no_cycle_in_dag(self):

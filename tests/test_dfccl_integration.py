@@ -9,6 +9,9 @@ from repro.core import DfcclBackend, DfcclConfig
 from repro.gpusim import HostProgram, build_cluster
 from repro.gpusim.host import DeviceSynchronize
 
+# Deadlock-shaped scenarios must fail fast in CI if one genuinely hangs.
+pytestmark = pytest.mark.timeout(300)
+
 
 def run_dfccl(num_gpus=2, coll_sizes=(1024, 1024), orders=None, with_sync=False,
               config=None, iterations=1, max_blocks=None):

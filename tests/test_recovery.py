@@ -1,0 +1,287 @@
+"""Elastic recovery, daemon generation turnover and communicator-pool recycling."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, InvalidStateError
+from repro.core import CommunicatorPool, DfcclBackend, DfcclConfig
+from repro.faults import FaultPlan, install_fault_plan, run_dfccl_chaos
+from repro.gpusim import HostProgram, build_cluster
+from repro.gpusim.host import DeviceSynchronize
+
+pytestmark = pytest.mark.timeout(300)
+
+
+def run_simple(config=None, num_gpus=2, coll_sizes=(1024, 1024), with_sync=False,
+               orders=None, iterations=1):
+    cluster = build_cluster("single-3090")
+    backend = DfcclBackend(cluster, config)
+    ranks = list(range(num_gpus))
+    backend.init_all_ranks(ranks)
+    for coll_id, count in enumerate(coll_sizes):
+        backend.register_all_reduce(coll_id, count=count, ranks=ranks)
+    programs = []
+    for rank in ranks:
+        ops = []
+        for iteration in range(iterations):
+            order = orders(rank, iteration) if orders else list(range(len(coll_sizes)))
+            handles = [backend.submit(rank, coll_id) for coll_id in order]
+            for index, handle in enumerate(handles):
+                ops.append(handle.submit_op())
+                if with_sync and index == 0:
+                    ops.append(DeviceSynchronize())
+            ops += [handle.wait_op() for handle in handles]
+        ops.append(backend.destroy_op(rank))
+        programs.append(HostProgram(ops))
+    cluster.add_hosts(programs)
+    final_time = cluster.run()
+    return cluster, backend, final_time
+
+
+class TestDaemonGenerationTurnover:
+    def test_voluntary_quit_relaunches_with_new_generation(self):
+        """Quit -> relaunch: the generation counter advances and work finishes."""
+        _, backend, _ = run_simple(
+            orders=lambda rank, _: [0, 1] if rank == 0 else [1, 0],
+            with_sync=True,
+        )
+        context = backend.context(0)
+        stats = backend.stats(0)
+        assert stats.voluntary_quits >= 1
+        assert stats.launches == stats.voluntary_quits + stats.final_exits
+        assert context.daemon_generation == stats.launches
+        assert stats.cqes_written == 2
+        assert context.finally_exited
+
+    def test_recovery_restart_bumps_generation(self):
+        """A crash forces a restart: survivors relaunch with fresh executors."""
+        plan = FaultPlan(name="crash").add_crash(2, at_us=80.0)
+        result = run_dfccl_chaos(plan, topology="single-3090", world_size=4,
+                                 num_collectives=1, nbytes=1 << 20, iterations=1)
+        assert result.outcome == "completed"
+        survivor_stats = [result.daemon_stats[rank]
+                          for rank in result.survivor_ranks]
+        assert sum(stats.recovery_restarts for stats in survivor_stats) >= 1
+        for stats in survivor_stats:
+            assert stats.launches >= 2
+
+    def test_pending_entries_survive_generations(self):
+        """Collectives fetched by one generation complete under a later one."""
+        _, backend, _ = run_simple(
+            coll_sizes=(4096, 4096, 4096),
+            orders=lambda rank, _: [0, 1, 2] if rank == 0 else [2, 1, 0],
+            with_sync=True,
+        )
+        for rank in (0, 1):
+            assert backend.stats(rank).cqes_written == 3
+
+
+class TestCommunicatorPoolRecycling:
+    def _pool(self):
+        cluster = build_cluster("single-3090")
+        return cluster, CommunicatorPool(cluster.interconnect)
+
+    def test_keys_are_device_ids(self):
+        cluster, pool = self._pool()
+        devices = [cluster.device(0), cluster.device(1)]
+        key = pool._key(devices)
+        assert key == tuple(device.device_id for device in devices)
+
+    def test_release_then_acquire_reuses(self):
+        cluster, pool = self._pool()
+        devices = [cluster.device(0), cluster.device(1)]
+        comm = pool.acquire(devices)
+        assert pool.release(comm) is True
+        again = pool.acquire(devices)
+        assert again is comm
+        assert pool.stats()["reused"] == 1
+
+    def test_invalidated_communicator_is_discarded(self):
+        cluster, pool = self._pool()
+        devices = [cluster.device(0), cluster.device(1)]
+        comm = pool.acquire(devices)
+        comm.invalidate()
+        assert pool.release(comm) is False
+        assert pool.acquire(devices) is not comm
+        assert pool.stats()["discarded"] == 1
+
+    def test_release_all_for_evicts_spanning_comms(self):
+        cluster, pool = self._pool()
+        doomed = cluster.device(1)
+        comm_a = pool.acquire([cluster.device(0), doomed])
+        comm_b = pool.acquire([cluster.device(2), cluster.device(3)])
+        pool.release(comm_a)
+        pool.release(comm_b)
+        dropped = pool.release_all_for([doomed])
+        assert dropped == 1
+        assert pool.acquire([cluster.device(2), cluster.device(3)]) is comm_b
+        assert pool.acquire([cluster.device(0), doomed]) is not comm_a
+
+    def test_unregister_recycles_communicator(self):
+        cluster = build_cluster("single-3090")
+        backend = DfcclBackend(cluster)
+        ranks = [0, 1]
+        backend.init_all_ranks(ranks)
+        coll = backend.register_all_reduce(0, count=256, ranks=ranks)
+        comm = coll.communicator
+        backend.unregister_collective(0)
+        assert backend.context(0).context_buffer.__contains__(0) is False
+        recycled = backend.register_all_reduce(1, count=256, ranks=ranks)
+        assert recycled.communicator is comm
+        assert backend.pool.stats()["reused"] == 1
+
+    def test_unregister_failure_invalidated_communicator_not_reused(self):
+        cluster = build_cluster("single-3090")
+        backend = DfcclBackend(cluster)
+        ranks = [0, 1]
+        backend.init_all_ranks(ranks)
+        coll = backend.register_all_reduce(0, count=256, ranks=ranks)
+        coll.communicator.invalidate()
+        comm = coll.communicator
+        backend.unregister_collective(0)
+        fresh = backend.register_all_reduce(1, count=256, ranks=ranks)
+        assert fresh.communicator is not comm
+        assert backend.pool.stats()["discarded"] == 1
+
+    def test_unregister_unknown_collective_raises(self):
+        cluster = build_cluster("single-3090")
+        backend = DfcclBackend(cluster)
+        with pytest.raises(ConfigurationError):
+            backend.unregister_collective(99)
+
+
+class TestRecoveryMechanics:
+    def test_crash_shrinks_group_and_replaces_communicator(self):
+        plan = FaultPlan(name="crash").add_crash(1, at_us=80.0)
+        result = run_dfccl_chaos(plan, topology="single-3090", world_size=3,
+                                 num_collectives=1, nbytes=1 << 20, iterations=1)
+        assert result.outcome == "completed"
+        event = result.recovery["events"][0]
+        assert event["failed_ranks"] == (1,)
+        assert event["survivor_ranks"] == (0, 2)
+        assert event["generation"] == 1
+        assert event["detection_latency_us"] > 0
+
+    def test_double_crash_shrinks_twice(self):
+        plan = (FaultPlan(name="double")
+                .add_crash(1, at_us=80.0)
+                .add_crash(3, at_us=2600.0))
+        result = run_dfccl_chaos(plan, topology="single-3090", world_size=5,
+                                 num_collectives=1, nbytes=1 << 20, iterations=3,
+                                 deadline_us=60_000.0)
+        assert result.outcome == "completed"
+        generations = [event["generation"]
+                       for event in result.recovery["events"]]
+        assert max(generations) == 2
+        final_survivors = result.recovery["events"][-1]["survivor_ranks"]
+        assert final_survivors == (0, 2, 4)
+
+    def test_straggler_timeout_is_not_treated_as_crash(self):
+        config = DfcclConfig(crash_detect_timeout_us=50.0)
+        plan = FaultPlan(name="slow").add_straggler(1, at_us=10.0, factor=8.0,
+                                                    duration_us=1_000.0)
+        result = run_dfccl_chaos(plan, topology="single-3090", world_size=4,
+                                 num_collectives=1, nbytes=1 << 20, iterations=1,
+                                 config=config)
+        assert result.outcome == "completed"
+        assert result.recovery["recoveries"] == 0
+        assert result.recovery["suspected_stragglers"] >= 1
+
+    def test_recovery_disabled_config_spawns_no_manager(self):
+        cluster = build_cluster("single-3090")
+        backend = DfcclBackend(cluster, DfcclConfig(recovery_enabled=False))
+        assert backend.recovery_manager is None
+
+    def test_dead_root_broadcast_is_abandoned_not_rerooted(self):
+        """A rooted collective whose root died cannot be re-formed."""
+        cluster = build_cluster("single-3090")
+        backend = DfcclBackend(cluster)
+        ranks = [0, 1, 2]
+        backend.init_all_ranks(ranks)
+        # Payload large enough that the root is still sending chunks when it
+        # dies (a smaller broadcast can legitimately finish from the chunks
+        # already persisted in the connectors).
+        coll = backend.register_broadcast(0, count=1 << 21, ranks=ranks, root=1)
+        programs = []
+        for rank in ranks:
+            handle = backend.submit(rank, 0)
+            programs.append(HostProgram(handle.ops()))
+        cluster.add_hosts(programs)
+        install_fault_plan(cluster,
+                           FaultPlan(name="root-crash").add_crash(1, at_us=40.0))
+        cluster.run(until_us=20_000.0)
+        assert coll.abandoned
+        assert backend.recovery_manager.stats.abandoned >= 1
+        assert backend.recovery_manager.stats.recoveries == 0
+        # Survivors cannot have completed a broadcast without its root.
+        invocation = coll.invocation(0)
+        assert not invocation.is_done(0) and not invocation.is_done(2)
+
+    def test_completed_root_with_dead_peer_abandons_instead_of_crashing(self):
+        """Root finished sending, then a non-root peer dies: the rerun set
+        excludes the root, whose sends cannot be replayed — the collective is
+        abandoned without the recovery path blowing up the simulation."""
+        cluster = build_cluster("single-3090")
+        backend = DfcclBackend(cluster)
+        ranks = [0, 1, 2, 3]
+        backend.init_all_ranks(ranks)
+        coll = backend.register_broadcast(0, count=1 << 20, ranks=ranks, root=0)
+        invocation = coll.invocation(0)
+        invocation.mark_gpu_complete(0, 10.0)   # root's part is done
+        cluster.device(2).fail(20.0)
+        manager = backend.recovery_manager
+        manager._recover_collective(coll, [2], now=30.0)  # must not raise
+        assert coll.abandoned
+        assert manager.stats.abandoned == 1
+        assert manager.stats.recoveries == 0
+        # And the scan skips an abandoned collective instead of retrying.
+        backend.context(1)._inflight[invocation] = 0.0
+        backend.context(1).outstanding += 1
+        manager._scan(now=10_000.0)
+        assert manager.stats.abandoned == 1
+
+    def test_unregister_after_crash_recovery_succeeds(self):
+        """Recovery leaves the collective unregisterable: dead-rank contexts
+        are cleaned up unconditionally and the rebuilt communicator recycles."""
+        cluster = build_cluster("single-3090")
+        backend = DfcclBackend(cluster)
+        ranks = [0, 1, 2]
+        backend.init_all_ranks(ranks)
+        coll = backend.register_all_reduce(0, count=1 << 18, ranks=ranks)
+        programs = []
+        for rank in ranks:
+            handle = backend.submit(rank, 0)
+            ops = handle.ops() + [backend.destroy_op(rank)]
+            programs.append(HostProgram(ops))
+        cluster.add_hosts(programs)
+        install_fault_plan(cluster,
+                           FaultPlan(name="crash").add_crash(1, at_us=30.0))
+        cluster.run(until_us=60_000.0)
+        assert coll.invocation(0).fully_complete()
+        backend.unregister_collective(0)  # must not raise for the dead rank
+        assert backend.pool.stats()["free"] >= 1
+
+    def test_unregister_with_inflight_invocation_raises(self):
+        cluster = build_cluster("single-3090")
+        backend = DfcclBackend(cluster)
+        ranks = [0, 1]
+        backend.init_all_ranks(ranks)
+        backend.register_all_reduce(0, count=256, ranks=ranks)
+        handles = {rank: backend.submit(rank, 0) for rank in ranks}
+        # Rank 0 submits up front (its program only waits); rank 1 submits
+        # from its program as usual.
+        backend.context(0).submit_invocation(handles[0], 0.0)
+        cluster.add_hosts([
+            HostProgram([handles[0].wait_op(), backend.destroy_op(0)]),
+            HostProgram([handles[1].submit_op(), handles[1].wait_op(),
+                         backend.destroy_op(1)]),
+        ])
+        with pytest.raises(InvalidStateError):
+            backend.unregister_collective(0)
+        # The rejected unregister must leave the backend fully consistent:
+        # the collective is still registered everywhere and the run works.
+        assert backend.collective(0) is not None
+        assert 0 in backend.context(0).registered
+        assert 0 in backend.context(1).registered
+        cluster.run()
+        backend.unregister_collective(0)
+        assert backend.pool.stats()["free"] == 1
