@@ -26,6 +26,12 @@ from repro.bench.fault_experiments import (
     goodput_under_chaos,
     measure_recovery,
 )
+from repro.bench.multijob_experiments import (
+    deadlock_ratio_sweep,
+    multijob_policy_comparison,
+    multijob_under_churn,
+    run_multijob,
+)
 from repro.bench.training_experiments import (
     fig10_resnet50_dp,
     fig11_adaptive_scheduling,
@@ -35,9 +41,13 @@ from repro.bench.training_experiments import (
 
 __all__ = [
     "CHAOS_PLANS",
+    "deadlock_ratio_sweep",
     "deadlock_sensitivity_sweep",
     "goodput_under_chaos",
     "measure_recovery",
+    "multijob_policy_comparison",
+    "multijob_under_churn",
+    "run_multijob",
     "fig10_resnet50_dp",
     "fig11_adaptive_scheduling",
     "fig12_vit_training",

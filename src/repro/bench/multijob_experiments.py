@@ -1,0 +1,204 @@
+"""Multi-tenant experiments: concurrent jobs on one shared cluster.
+
+Three drivers cover the multi-tenant story:
+
+* :func:`run_multijob` — one backend, one placement policy, one seeded job
+  stream; per-job rows (JCT, queueing delay, goodput, SLO) plus aggregate
+  metrics (deadlock ratio, aggregate goodput, SLO attainment);
+* :func:`multijob_policy_comparison` — the headline table: DFCCL vs the
+  dedicated-kernel baseline for each placement policy on the same stream.
+  Co-located dedicated kernels contend for SM block slots, so the baseline
+  deadlocks *across* jobs; DFCCL's one shared daemon kernel per GPU cannot;
+* :func:`multijob_under_churn` — job churn via :class:`repro.faults` plans:
+  ranks crash mid-run, DFCCL recovery shrinks the affected jobs' collectives
+  and the survivors finish (``degraded``), while untouched jobs complete.
+
+All drivers are seeded and deterministic; sweeping ``seed`` turns single
+runs into the deadlock-ratio distributions the headline reports.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import install_fault_plan
+from repro.faults.plan import FaultPlan
+from repro.gpusim import SmInterferenceModel, build_cluster
+from repro.multijob.arrivals import generate_jobs
+from repro.multijob.runtime import make_job_runner
+from repro.multijob.scheduler import install_scheduler
+
+#: Virtual-time deadline: a shared cluster not drained by then is stuck.
+MULTIJOB_DEADLINE_US = 8_000_000.0
+
+#: SM slots per GPU in the shared-cluster experiments: tight enough that one
+#: large-collective kernel fills the GPU, the regime where co-located
+#: dedicated kernels fence each other out.
+SHARED_CLUSTER_BLOCKS = 4
+
+
+def default_job_stream(seed, num_jobs=4, mean_interarrival_us=400.0):
+    """The canned job stream the comparison experiments share.
+
+    Data-parallel jobs with two gradient buckets: collectives large enough
+    for full-GPU grids, arrivals bunched tightly enough that jobs overlap.
+    """
+    return generate_jobs(
+        seed,
+        num_jobs=num_jobs,
+        mean_interarrival_us=mean_interarrival_us,
+        size_classes=(2, 4, 8),
+        models=("resnet50", "vit"),
+        iterations_range=(2, 3),
+        slo_stretch=8.0,
+    )
+
+
+def run_multijob(backend="dfccl", policy="packed", topology="dual-3090",
+                 seed=11, num_jobs=4, specs=None, tenants_per_gpu=2,
+                 max_resident_blocks=SHARED_CLUSTER_BLOCKS,
+                 launch_jitter_us=300.0, interference="default",
+                 fault_plan=None, deadline_us=MULTIJOB_DEADLINE_US,
+                 config=None, trace=None):
+    """Run one seeded job stream on one shared cluster.
+
+    ``interference="default"`` applies the standard
+    :class:`SmInterferenceModel`; pass ``None`` for the contention-off
+    ablation (tenant counters only), or a custom model instance.
+
+    Returns ``{"backend", "policy", "seed", "summary", "jobs", "events",
+    "engine_deadlock", "contention", "pool"}``.  ``summary["deadlock_ratio"]``
+    counts placed-but-stuck jobs only when the engine actually recorded a
+    deadlock; deadline cutoffs and never-placed jobs are reported separately.
+    """
+    if interference == "default":
+        interference = SmInterferenceModel()
+    cluster = build_cluster(
+        topology, deadlock_mode="record",
+        max_resident_blocks=max_resident_blocks,
+        interference=interference,
+    )
+    if trace is not None:
+        cluster.engine.trace = trace
+    runner_kwargs = {"launch_jitter_us": launch_jitter_us, "seed": seed}
+    if backend == "dfccl" and config is not None:
+        runner_kwargs["config"] = config
+    runner = make_job_runner(backend, cluster, **runner_kwargs)
+    if specs is None:
+        specs = default_job_stream(seed, num_jobs=num_jobs)
+    scheduler = install_scheduler(cluster, runner, specs, policy=policy,
+                                  tenants_per_gpu=tenants_per_gpu)
+    if fault_plan is not None:
+        install_fault_plan(cluster, fault_plan)
+
+    total = cluster.run(until_us=deadline_us)
+    scheduler.finalize(total)
+    engine_deadlock = cluster.engine.deadlock_report is not None
+    summary = scheduler.summary(total)
+    # Attribute stuck jobs to deadlock only when the engine recorded one;
+    # otherwise they are deadline timeouts (or capacity starvation, counted
+    # under never_placed) and must not inflate the deadlock ratio.
+    summary["deadlock_ratio"] = summary["stuck_ratio"] if engine_deadlock else 0.0
+
+    contention = {
+        "cross_tenant_block_waits": sum(
+            device.cross_tenant_block_waits for device in cluster.devices
+        ),
+        "peak_resident_tenants": max(
+            device.peak_resident_tenants for device in cluster.devices
+        ),
+    }
+    result = {
+        "backend": backend,
+        "policy": policy,
+        "seed": seed,
+        "time_us": total,
+        "summary": summary,
+        "jobs": scheduler.job_rows(),
+        "events": list(scheduler.events),
+        "engine_deadlock": engine_deadlock,
+        "contention": contention,
+    }
+    if backend == "dfccl":
+        result["pool"] = runner.dfccl.pool.stats()
+        manager = runner.dfccl.recovery_manager
+        if manager is not None:
+            result["recoveries"] = manager.stats.recoveries
+            result["recovery_events"] = [
+                {"time_us": event.time_us, "coll_id": event.coll_id,
+                 "job": event.coll_id[0] if isinstance(event.coll_id, tuple) else None}
+                for event in manager.stats.events
+            ]
+    return result
+
+
+def multijob_policy_comparison(policies=("packed", "spread", "nvlink-affine"),
+                               backends=("nccl", "dfccl"), topology="dual-3090",
+                               seed=11, num_jobs=4, tenants_per_gpu=2,
+                               deadline_us=MULTIJOB_DEADLINE_US, **kwargs):
+    """The headline table: per-(policy, backend) JCT / goodput / deadlock ratio.
+
+    Every cell replays the *same* seeded arrival stream, so rows differ only
+    in placement and backend.
+    """
+    rows = []
+    for policy in policies:
+        for backend in backends:
+            result = run_multijob(
+                backend=backend, policy=policy, topology=topology, seed=seed,
+                num_jobs=num_jobs, tenants_per_gpu=tenants_per_gpu,
+                deadline_us=deadline_us, **kwargs,
+            )
+            summary = result["summary"]
+            rows.append({
+                "policy": policy,
+                "backend": backend,
+                "jobs": summary["jobs"],
+                "completed": summary["completed"],
+                "deadlock_ratio": summary["deadlock_ratio"],
+                "engine_deadlock": result["engine_deadlock"],
+                "mean_jct_us": summary["mean_jct_us"],
+                "mean_queueing_delay_us": summary["mean_queueing_delay_us"],
+                "aggregate_goodput_samples_per_s":
+                    summary["aggregate_goodput_samples_per_s"],
+                "slo_attainment": summary["slo_attainment"],
+                "cross_tenant_block_waits":
+                    result["contention"]["cross_tenant_block_waits"],
+            })
+    return rows
+
+
+def deadlock_ratio_sweep(seeds=range(1, 6), backend="nccl", policy="packed",
+                         **kwargs):
+    """Deadlock-ratio distribution over seeds (jobs unfinished / jobs)."""
+    rows = []
+    for seed in seeds:
+        result = run_multijob(backend=backend, policy=policy, seed=seed, **kwargs)
+        rows.append({
+            "seed": seed,
+            "deadlock_ratio": result["summary"]["deadlock_ratio"],
+            "engine_deadlock": result["engine_deadlock"],
+            "completed": result["summary"]["completed"],
+        })
+    mean_ratio = sum(row["deadlock_ratio"] for row in rows) / len(rows)
+    return {"rows": rows, "mean_deadlock_ratio": mean_ratio}
+
+
+def multijob_under_churn(seed=11, num_jobs=4, crash_rank=1, crash_at_us=40_000.0,
+                         policy="packed", topology="dual-3090",
+                         tenants_per_gpu=2, **kwargs):
+    """Job churn through the fault plans: a leased rank crashes mid-run.
+
+    DFCCL recovery shrinks every collective registered over the dead device —
+    *across all jobs leasing it* — so affected jobs finish ``degraded`` while
+    unaffected jobs complete normally.
+    """
+    plan = FaultPlan(name="multijob-churn").add_crash(crash_rank, at_us=crash_at_us)
+    result = run_multijob(
+        backend="dfccl", policy=policy, topology=topology, seed=seed,
+        num_jobs=num_jobs, tenants_per_gpu=tenants_per_gpu,
+        fault_plan=plan, **kwargs,
+    )
+    result["fault_plan"] = plan.describe()
+    affected = [row["job"] for row in result["jobs"]
+                if crash_rank in row["leased_ranks"]]
+    result["affected_jobs"] = affected
+    return result

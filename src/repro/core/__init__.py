@@ -21,7 +21,7 @@ from repro.core.communicator_pool import CommunicatorPool
 from repro.core.config import DfcclConfig
 from repro.core.context import CollectiveContextBuffer, ActiveContextCache
 from repro.core.daemon import DaemonKernel
-from repro.core.profiler import AutoProfiler
+from repro.core.profiler import AutoProfiler, chrome_trace_events, write_chrome_trace
 from repro.core.recovery import RecoveryEvent, RecoveryManager, RecoveryStats
 from repro.core.queues import (
     CompletionQueueBase,
@@ -64,5 +64,7 @@ __all__ = [
     "SubmissionQueue",
     "TaskQueue",
     "VanillaRingCQ",
+    "chrome_trace_events",
     "make_completion_queue",
+    "write_chrome_trace",
 ]

@@ -367,15 +367,22 @@ class DfcclBackend:
 
     # -- registration (dfccl_register_*) ----------------------------------------------------------
 
-    def register_collective(self, coll_id, spec, ranks=None, priority=0, name=None):
-        """Register a collective over ``ranks`` with a unique ``coll_id``."""
+    def register_collective(self, coll_id, spec, ranks=None, priority=0, name=None,
+                            job=None):
+        """Register a collective over ``ranks`` with a unique ``coll_id``.
+
+        ``job`` namespaces the collective's communicators in the pool: a
+        multi-tenant scheduler registers each job's collectives under the
+        job's id so released channel sets never migrate between tenants.
+        """
         if coll_id in self._collectives:
             raise ConfigurationError(f"collective id {coll_id} already registered")
         ranks = list(ranks) if ranks is not None else list(range(self.cluster.world_size))
         devices = [self.cluster.device(rank) for rank in ranks]
         coll = RegisteredCollective(
             coll_id, spec, devices, self.cluster.interconnect, self.config,
-            priority=priority, name=name, communicator=self.pool.acquire(devices),
+            priority=priority, name=name,
+            communicator=self.pool.acquire(devices, job=job), job=job,
         )
         self._collectives[coll_id] = coll
         coll.global_ranks = ranks

@@ -10,6 +10,7 @@ slots* managed as a direct-mapped cache with lazy saving.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 
@@ -127,7 +128,15 @@ class ActiveContextCache:
         self.stats = ContextStats()
 
     def _slot_for(self, coll_id):
-        return self.slots[coll_id % len(self.slots)]
+        # Direct mapping must handle both int ids and the multi-tenant
+        # (job, local id) tuples.  String hashing via hash() is randomized
+        # per process (PYTHONHASHSEED), which would break seeded
+        # reproducibility, so tuples map through a stable CRC instead.
+        if isinstance(coll_id, int):
+            index = coll_id
+        else:
+            index = zlib.crc32(repr(coll_id).encode())
+        return self.slots[index % len(self.slots)]
 
     def _charge(self, cost_us):
         if self.clock is not None:

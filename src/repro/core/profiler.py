@@ -1,4 +1,4 @@
-"""Automated profiling of DFCCL parameters (Sec. 4.3 / 4.5).
+"""Automated profiling of DFCCL parameters (Sec. 4.3 / 4.5) and trace export.
 
 The total collective-execution overhead ``T = t_spin + t_switch + t_q_len`` is
 approximately ``N_spin + 1/N_spin`` as a function of the spin threshold
@@ -7,10 +7,17 @@ switches and long task queues, too large a threshold wastes time busy-waiting.
 The profiler estimates the expected peer skew from the link parameters and the
 collectives that will be registered, and picks an initial spin threshold and a
 voluntary-quit period near the Pareto knee.
+
+The module also exports engine traces in Chrome's trace-event format
+(``chrome://tracing`` / Perfetto): pass ``trace=[]`` to :class:`Engine` and
+hand the collected records to :func:`write_chrome_trace` to inspect how
+daemon kernels, host threads and — under the multi-tenant scheduler —
+concurrent jobs interleave on each GPU.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 from repro.common.types import LinkType
@@ -83,3 +90,63 @@ class AutoProfiler:
         """The paper's qualitative overhead expression ``T ~ N + 1/N`` (expr. 2)."""
         normalized = max(spin_threshold, 1e-9) / max(scale, 1e-9)
         return normalized + 1.0 / normalized
+
+
+# -- Chrome-trace export of engine events ------------------------------------------
+
+
+def chrome_trace_events(trace, process_name="repro-engine"):
+    """Convert engine trace records to Chrome trace-event JSON objects.
+
+    ``trace`` is the list collected by ``Engine(trace=[...])``: tuples of
+    ``(time_us, actor_name, status, detail)`` appended *after* each actor
+    step.  Each actor becomes one thread row; the span between an actor's
+    consecutive records becomes a complete ("X") event named by the work that
+    ended at the span's close, so concurrent jobs' kernels, hosts and daemons
+    line up visually.  Timestamps are virtual microseconds, which is exactly
+    the unit the trace-event format expects.
+    """
+    by_actor = {}
+    for time_us, actor, status, detail in trace:
+        by_actor.setdefault(actor, []).append((float(time_us), status, detail))
+
+    events = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for tid, (actor, records) in enumerate(sorted(by_actor.items()), start=1):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"name": actor},
+        })
+        previous = records[0][0]
+        for index, (time_us, status, detail) in enumerate(records):
+            start = previous if index > 0 else time_us
+            events.append({
+                "name": detail or status,
+                "cat": status,
+                "ph": "X",
+                "ts": start,
+                "dur": max(0.0, time_us - start),
+                "pid": 0,
+                "tid": tid,
+                "args": {"status": status},
+            })
+            previous = time_us
+    return events
+
+
+def write_chrome_trace(trace, path, process_name="repro-engine"):
+    """Write an engine trace as a ``chrome://tracing`` JSON file.
+
+    Returns the number of events written.  ``path`` may be a filesystem path
+    or an open text file.
+    """
+    events = chrome_trace_events(trace, process_name=process_name)
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if hasattr(path, "write"):
+        json.dump(document, path)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+    return len(events)

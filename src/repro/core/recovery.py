@@ -216,7 +216,7 @@ class RecoveryManager(Actor):
                 # Some survivors already finished their part; the re-run spans
                 # only the unfinished ones over a dedicated communicator.
                 communicator = self.backend.pool.acquire(
-                    [coll.devices[rank] for rank in rerun]
+                    [coll.devices[rank] for rank in rerun], job=coll.job
                 )
             invocation.begin_recovery(survivors, rerun, communicator)
             rerun_count += 1

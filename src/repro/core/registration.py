@@ -22,7 +22,7 @@ class RegisteredCollective:
     """A collective registered with DFCCL (one per ``collId``)."""
 
     def __init__(self, coll_id, spec, devices, interconnect, config, priority=0,
-                 name=None, communicator=None):
+                 name=None, communicator=None, job=None):
         spec.validate()
         self.coll_id = coll_id
         self.spec = spec
@@ -30,6 +30,8 @@ class RegisteredCollective:
         self.priority = priority
         self.config = config
         self.interconnect = interconnect
+        #: Pool namespace (tenant) this collective's communicators belong to.
+        self.job = job
         self.name = name or f"dfccl-coll{coll_id}-{spec.kind.value}"
         self.communicator = communicator or Communicator(
             self.devices, interconnect, channel_capacity=config.channel_capacity
@@ -93,7 +95,7 @@ class RegisteredCollective:
         self.excluded_ranks |= newly
         survivors = self.active_ranks()
         if survivors:
-            self.communicator = pool.acquire(self.active_devices())
+            self.communicator = pool.acquire(self.active_devices(), job=self.job)
             self.algorithm = self._resolve_algorithm(self.active_devices())
         self.generation += 1
         return survivors
@@ -185,7 +187,10 @@ class Invocation:
     def __init__(self, coll, index):
         self.coll = coll
         self.index = index
-        self.invocation_id = coll.coll_id * 1_000_000 + index
+        # Collective ids may be plain ints or (job, local id) tuples under the
+        # multi-tenant scheduler; the invocation id only needs to be a unique
+        # hashable key, so pair them instead of packing arithmetically.
+        self.invocation_id = (coll.coll_id, index)
         self._executors = {}
         self._callbacks = {}
         self._submitted_ranks = set()

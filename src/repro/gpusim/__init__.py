@@ -16,7 +16,7 @@ also performs deadlock detection over the wait-for graph.
 """
 
 from repro.gpusim.engine import Actor, Engine, StepResult, StepStatus
-from repro.gpusim.device import GpuDevice, KernelActor
+from repro.gpusim.device import GpuDevice, KernelActor, SmInterferenceModel
 from repro.gpusim.cluster import Cluster, ClusterSpec, NodeSpec, build_cluster
 from repro.gpusim.host import HostProgram, HostThread
 from repro.gpusim.interconnect import Interconnect, LinkSpec, TopologySpec
@@ -37,6 +37,7 @@ __all__ = [
     "MemoryAccountant",
     "NodeSpec",
     "PinnedHostAllocator",
+    "SmInterferenceModel",
     "StepResult",
     "StepStatus",
     "Stream",

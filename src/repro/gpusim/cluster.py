@@ -96,7 +96,7 @@ def fat_tree_32gpu_spec(oversubscription=2.0):
 class Cluster:
     """A simulated multi-node GPU cluster plus its event engine."""
 
-    def __init__(self, spec, engine=None, max_resident_blocks=None):
+    def __init__(self, spec, engine=None, max_resident_blocks=None, interference=None):
         if not spec.nodes:
             raise ConfigurationError("a cluster needs at least one node")
         self.spec = spec
@@ -121,6 +121,7 @@ class Cluster:
                         else node.max_resident_blocks
                     ),
                     memory=GpuMemoryModel(global_bytes=node.gpu_memory_bytes),
+                    interference=interference,
                 )
                 self.engine.add_actor(device)
                 self.devices.append(device)
@@ -171,13 +172,20 @@ class Cluster:
 
     # -- host threads ----------------------------------------------------------
 
-    def add_host(self, rank, program=None, name=None):
-        """Create the host thread (rank process) driving GPU ``rank``."""
+    def add_host(self, rank, program=None, name=None, start_time_us=None):
+        """Create the host thread (rank process) driving GPU ``rank``.
+
+        ``start_time_us`` starts the process mid-simulation (a job placed by
+        the multi-tenant scheduler): the host's clock begins at that virtual
+        time so none of its work appears to happen in the past.
+        """
         device = self.device(rank)
         host_name = name or f"host-{rank}"
         if host_name in self.hosts:
             raise ConfigurationError(f"host {host_name} already exists")
         host = HostThread(host_name, device, self, program=program)
+        if start_time_us is not None:
+            host.clock.advance_to(start_time_us)
         self.hosts[host_name] = host
         self.engine.add_actor(host)
         return host
@@ -198,6 +206,7 @@ def build_cluster(
     deadlock_mode="raise",
     max_resident_blocks=None,
     max_steps=50_000_000,
+    interference=None,
 ):
     """Build one of the named paper testbeds.
 
@@ -222,4 +231,5 @@ def build_cluster(
     else:
         raise ConfigurationError(f"unknown cluster topology {topology!r}")
     engine = Engine(deadlock_mode=deadlock_mode, max_steps=max_steps)
-    return Cluster(spec, engine=engine, max_resident_blocks=max_resident_blocks)
+    return Cluster(spec, engine=engine, max_resident_blocks=max_resident_blocks,
+                   interference=interference)

@@ -11,11 +11,44 @@ opportunities.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 
-from repro.common.errors import InvalidStateError
+from repro.common.errors import ConfigurationError, InvalidStateError
 from repro.gpusim.engine import Actor, StepResult
 from repro.gpusim.memory import GpuMemoryModel
 from repro.gpusim.stream import Stream, SyncBarrier
+
+
+@dataclass(frozen=True)
+class SmInterferenceModel:
+    """SM contention between co-resident kernels of *different* tenants.
+
+    A GPU shared by several jobs runs each resident kernel slower: the SM
+    scheduler time-slices warps across tenants, and cache/memory-bandwidth
+    pressure grows with occupancy.  The model dilates every resident kernel's
+    virtual clock by ``1 + slope * (tenants - 1) * occupancy`` (capped), where
+    occupancy is the fraction of block slots in use.  Kernels of a single
+    tenant — including DFCCL's one shared daemon kernel per GPU — are never
+    dilated, which is precisely the daemon-kernel model's multi-tenant
+    advantage.
+    """
+
+    slope: float = 0.6
+    cap: float = 4.0
+
+    def validate(self):
+        if self.slope < 0.0:
+            raise ConfigurationError(f"interference slope must be >= 0, got {self.slope}")
+        if self.cap < 1.0:
+            raise ConfigurationError(f"interference cap must be >= 1, got {self.cap}")
+        return self
+
+    def factor(self, num_tenants, occupied_blocks, max_blocks):
+        """Dilation factor for the current residency mix (>= 1)."""
+        if num_tenants <= 1 or max_blocks <= 0:
+            return 1.0
+        occupancy = min(1.0, occupied_blocks / max_blocks)
+        return min(self.cap, 1.0 + self.slope * (num_tenants - 1) * occupancy)
 
 
 class KernelActor(Actor):
@@ -25,6 +58,10 @@ class KernelActor(Actor):
     exactly as a normal actor would; the base class handles residency
     bookkeeping and completion notification.
     """
+
+    #: Owning tenant (job id) for SM-contention accounting; ``None`` groups
+    #: the kernel with every other untagged kernel of its device.
+    tenant = None
 
     def __init__(self, name, device, grid_size=1, block_size=256):
         super().__init__(name)
@@ -43,7 +80,7 @@ class KernelActor(Actor):
         self.launched = True
         self.launch_time_us = time_us
         self.clock.advance_to(time_us)
-        self.clock.rate = self.device.slowdown_factor
+        self.clock.rate = self.device.effective_kernel_rate()
 
     def complete(self, detail="kernel complete"):
         """Mark the kernel finished and notify the device.  Returns DONE."""
@@ -68,17 +105,26 @@ class KernelActor(Actor):
 
 
 class SleepKernel(KernelActor):
-    """A kernel that occupies its blocks for a fixed duration (compute stand-in)."""
+    """A kernel that occupies its blocks for a fixed duration (compute stand-in).
+
+    The sleep advances in bounded slices so that mid-flight rate changes —
+    straggler slowdowns, multi-tenant SM interference — dilate the remaining
+    work instead of being skipped over in one jump.
+    """
+
+    #: Maximum un-dilated work per engine step.
+    SLICE_US = 50.0
 
     def __init__(self, name, device, duration_us, grid_size=1, block_size=256):
         super().__init__(name, device, grid_size, block_size)
         self.duration_us = duration_us
-        self._slept = False
+        self._remaining_us = float(duration_us)
 
     def run_step(self):
-        if not self._slept:
-            self._slept = True
-            self.clock.advance(self.duration_us)
+        if self._remaining_us > 0:
+            slice_us = min(self._remaining_us, self.SLICE_US)
+            self._remaining_us -= slice_us
+            self.clock.advance(slice_us)
             return StepResult.progress("compute")
         return self.complete()
 
@@ -101,6 +147,7 @@ class GpuDevice(Actor):
         max_resident_blocks=32,
         memory=None,
         launch_overhead_us=None,
+        interference=None,
     ):
         super().__init__(f"gpu-{device_id}")
         self.device_id = device_id
@@ -110,6 +157,10 @@ class GpuDevice(Actor):
         self.launch_overhead_us = (
             self.LAUNCH_OVERHEAD_US if launch_overhead_us is None else launch_overhead_us
         )
+        #: Optional :class:`SmInterferenceModel`; ``None`` disables dilation
+        #: (tenant accounting stays on either way).
+        self.interference = interference.validate() if interference is not None else None
+        self._interference_factor = 1.0
 
         self.streams = {}
         self.default_stream = self.get_stream("default", is_default=True)
@@ -127,6 +178,11 @@ class GpuDevice(Actor):
         self.launch_count = 0
         self.sync_count = 0
         self.kernel_complete_count = 0
+        #: Multi-tenant contention statistics: the most distinct tenants ever
+        #: co-resident, and how often a launchable stream head was deferred
+        #: solely because another tenant held its block slots.
+        self.peak_resident_tenants = 0
+        self.cross_tenant_block_waits = 0
 
     # -- wait keys -----------------------------------------------------------
 
@@ -181,8 +237,9 @@ class GpuDevice(Actor):
             raise InvalidStateError(f"slowdown factor must be >= 1, got {factor}")
         self.slowdown_factor = float(factor)
         self.clock.rate = self.slowdown_factor
+        rate = self.effective_kernel_rate()
         for kernel in self.resident:
-            kernel.clock.rate = self.slowdown_factor
+            kernel.clock.rate = rate
         return self.slowdown_factor
 
     def stall_resident(self, duration_us, time_us=None):
@@ -201,6 +258,40 @@ class GpuDevice(Actor):
                 self.engine.observe_time(kernel.now)
             stalled.append(kernel)
         return stalled
+
+    # -- multi-tenant SM accounting -------------------------------------------
+
+    def resident_tenants(self):
+        """Distinct tenants with at least one resident kernel."""
+        return {kernel.tenant for kernel in self.resident}
+
+    def tenant_blocks(self):
+        """Block slots held per tenant, e.g. ``{None: 2, "job-a": 4}``."""
+        held = {}
+        for kernel in self.resident:
+            held[kernel.tenant] = held.get(kernel.tenant, 0) + kernel.grid_size
+        return held
+
+    def effective_kernel_rate(self):
+        """Clock-rate dilation applied to resident kernels (slowdown x contention)."""
+        return self.slowdown_factor * self._interference_factor
+
+    def _update_contention(self):
+        """Recompute interference after a residency change and re-rate kernels."""
+        tenants = self.resident_tenants()
+        self.peak_resident_tenants = max(self.peak_resident_tenants, len(tenants))
+        if self.interference is None:
+            return
+        factor = self.interference.factor(
+            len(tenants),
+            self.max_resident_blocks - self.free_blocks,
+            self.max_resident_blocks,
+        )
+        if factor != self._interference_factor:
+            self._interference_factor = factor
+            rate = self.effective_kernel_rate()
+            for kernel in self.resident:
+                kernel.clock.rate = rate
 
     # -- streams --------------------------------------------------------------
 
@@ -277,6 +368,19 @@ class GpuDevice(Actor):
             if barrier_seq is not None and item.sequence > barrier_seq:
                 continue
             if kernel.grid_size > self.free_blocks:
+                # Head kernel fits no free SM slots.  When reclaiming the
+                # blocks other tenants hold would let it launch, the wait is
+                # cross-job contention — the condition under which
+                # dedicated-kernel baselines deadlock across jobs — so make
+                # it observable.  A kernel that would not fit even then is
+                # self-blocked and not counted.
+                other_tenant_blocks = sum(
+                    blocks for tenant, blocks in self.tenant_blocks().items()
+                    if tenant != kernel.tenant
+                )
+                if other_tenant_blocks > 0 and \
+                        kernel.grid_size <= self.free_blocks + other_tenant_blocks:
+                    self.cross_tenant_block_waits += 1
                 continue
             return stream, item
         return None
@@ -294,6 +398,7 @@ class GpuDevice(Actor):
         self.resident.add(kernel)
         self.launch_count += 1
         self.clock.advance(self.launch_overhead_us)
+        self._update_contention()
         kernel.on_launch(self.now)
         self.engine.add_actor(kernel)
         self.clock.advance(self.SCHED_PASS_US)
@@ -310,6 +415,7 @@ class GpuDevice(Actor):
         self.resident.discard(kernel)
         self.free_blocks += kernel.grid_size
         self.kernel_complete_count += 1
+        self._update_contention()
         stream = getattr(kernel, "stream", None)
         if stream is not None:
             stream.active -= 1

@@ -1,0 +1,143 @@
+"""Placement policies: which GPUs a job leases from the shared cluster.
+
+A placement policy maps a job's world size onto a set of GPU *slots*: every
+GPU hosts at most ``tenants_per_gpu`` concurrent jobs (the SM block budget is
+shared by whoever is resident; the slot cap is the scheduler-level admission
+knob on top of it).  Policies are pure functions of the current load map, so
+placements are deterministic given the same arrival sequence — a property the
+test suite checks explicitly.
+
+``packed``
+    Consolidate: fill the lowest-indexed GPUs first, co-locating jobs on as
+    few devices as possible.  Maximizes headroom for future large jobs, and
+    maximizes cross-job SM contention — the regime where dedicated-kernel
+    baselines deadlock across jobs.
+``spread``
+    Balance: lease the least-loaded GPUs, minimizing co-location (and hence
+    interference) while it lasts.
+``nvlink-affine``
+    Locality first: fit the whole job inside one NVLink island if possible,
+    else inside one node, else fall back to ``spread``.  Keeps a job's ring
+    off the slow inter-domain links at the cost of more co-location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceLease:
+    """A granted placement: one global rank per job-local rank."""
+
+    job_id: str
+    ranks: tuple
+    granted_at_us: float
+
+    def __len__(self):
+        return len(self.ranks)
+
+
+class PlacementPolicy:
+    """Base class; subclasses order candidate GPU slots."""
+
+    name = "base"
+
+    def place(self, world_size, load, capacity, cluster):
+        """Return ``world_size`` global ranks to lease, or ``None``.
+
+        ``load`` maps global rank -> number of jobs currently leasing it;
+        ``capacity`` is the per-GPU tenant cap.  The default implementation
+        takes the first ``world_size`` candidates in :meth:`order`'s ranking.
+        """
+        candidates = [rank for rank in sorted(load) if load[rank] < capacity]
+        if len(candidates) < world_size:
+            return None
+        ordered = self.order(candidates, load, cluster)
+        return tuple(ordered[:world_size])
+
+    def order(self, candidates, load, cluster):
+        raise NotImplementedError
+
+
+class PackedPolicy(PlacementPolicy):
+    """Consolidate onto the lowest-indexed GPUs with free slots."""
+
+    name = "packed"
+
+    def order(self, candidates, load, cluster):
+        return sorted(candidates)
+
+
+class SpreadPolicy(PlacementPolicy):
+    """Least-loaded GPUs first; rank index breaks ties deterministically."""
+
+    name = "spread"
+
+    def order(self, candidates, load, cluster):
+        return sorted(candidates, key=lambda rank: (load[rank], rank))
+
+
+class NvlinkAffinePolicy(PlacementPolicy):
+    """Fit the job inside one NVLink island, else one node, else spread."""
+
+    name = "nvlink-affine"
+
+    def _domain_of(self, cluster, rank):
+        device = cluster.device(rank).device_id
+        interconnect = cluster.interconnect
+        nvlink = interconnect.nvlink_domain(device)
+        if nvlink is not None:
+            return ("nvlink", device.node, nvlink)
+        return ("pix", device.node, interconnect.pix_domain(device))
+
+    def place(self, world_size, load, capacity, cluster):
+        candidates = [rank for rank in sorted(load) if load[rank] < capacity]
+        if len(candidates) < world_size:
+            return None
+
+        def pick_within(groups):
+            """Least-loaded group that fits the whole job, or None."""
+            fitting = [
+                (sum(load[rank] for rank in members), key, members)
+                for key, members in sorted(groups.items())
+                if len(members) >= world_size
+            ]
+            if not fitting:
+                return None
+            _, _, members = min(fitting, key=lambda item: (item[0], item[1]))
+            ordered = sorted(members, key=lambda rank: (load[rank], rank))
+            return tuple(ordered[:world_size])
+
+        domains = {}
+        nodes = {}
+        for rank in candidates:
+            domains.setdefault(self._domain_of(cluster, rank), []).append(rank)
+            nodes.setdefault(cluster.device(rank).device_id.node, []).append(rank)
+
+        placement = pick_within(domains)
+        if placement is None:
+            placement = pick_within(nodes)
+        if placement is None:
+            ordered = sorted(candidates, key=lambda rank: (load[rank], rank))
+            placement = tuple(ordered[:world_size])
+        return placement
+
+
+PLACEMENT_POLICIES = {
+    policy.name: policy for policy in (PackedPolicy, SpreadPolicy, NvlinkAffinePolicy)
+}
+
+
+def make_placement_policy(policy):
+    """Resolve a policy instance from a name (or pass an instance through)."""
+    if isinstance(policy, PlacementPolicy):
+        return policy
+    cls = PLACEMENT_POLICIES.get(policy)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown placement policy {policy!r}; choose from {sorted(PLACEMENT_POLICIES)}"
+        )
+    return cls()

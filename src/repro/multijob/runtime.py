@@ -1,0 +1,225 @@
+"""Per-job backend contexts on the shared cluster.
+
+A placed job becomes a :class:`~repro.workloads.trainer.TrainingRun` whose
+plan is *rank-mapped*: the job plans in its own local rank space (0..n-1) and
+a :class:`RankMappedPlan` view translates every schedule onto the leased
+global ranks, which need not be contiguous.
+
+Two runner families mirror the paper's comparison:
+
+* :class:`DfcclJobRunner` shares ONE :class:`~repro.core.DfcclBackend` across
+  all jobs — one daemon kernel per GPU serves every co-located tenant, with
+  collective ids namespaced by job and communicators pooled per
+  ``(job, device set)``;
+* :class:`NcclJobRunner` gives each job dedicated per-collective kernels on
+  per-job streams.  Co-located jobs' dedicated kernels contend for SM block
+  slots, which is what lets the baseline deadlock *across* jobs.
+
+Both apply a small seeded per-rank *launch jitter* modelling dataloader and
+framework skew between rank processes — the disorder that interleaves
+co-located jobs' kernel launches differently on different GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.core import DfcclBackend
+from repro.ncclsim import NcclBackend
+from repro.orchestration.megatron_manual import MegatronManualOrchestrator
+from repro.workloads.backends import DfcclTrainingBackend, NcclTrainingBackend
+from repro.workloads.parallelism import CollectiveItem, ComputeItem
+from repro.workloads.trainer import TrainingRun
+
+
+class RankMappedPlan:
+    """View of a job-local :class:`ParallelPlan` on leased global ranks."""
+
+    def __init__(self, plan, rank_map):
+        if plan.base_rank != 0:
+            raise ConfigurationError("rank-mapped plans must be built with base_rank=0")
+        if len(rank_map) != plan.world_size:
+            raise ConfigurationError(
+                f"lease has {len(rank_map)} ranks but the plan needs {plan.world_size}"
+            )
+        if len(set(rank_map)) != len(rank_map):
+            raise ConfigurationError(f"lease ranks must be distinct, got {rank_map}")
+        self.plan = plan
+        self.rank_map = list(rank_map)
+        self._to_local = {global_rank: local
+                          for local, global_rank in enumerate(self.rank_map)}
+
+    # -- delegated geometry ----------------------------------------------------
+
+    @property
+    def world_size(self):
+        return self.plan.world_size
+
+    @property
+    def global_batch_size(self):
+        return self.plan.global_batch_size
+
+    def ranks(self):
+        return list(self.rank_map)
+
+    def local_rank(self, global_rank):
+        return self._to_local[global_rank]
+
+    # -- schedule translation --------------------------------------------------
+
+    def _map_item(self, item):
+        if isinstance(item, CollectiveItem):
+            return replace(
+                item,
+                group_ranks=tuple(self.rank_map[local] for local in item.group_ranks),
+            )
+        return item
+
+    def iteration_schedule(self, global_rank):
+        local = self._to_local[global_rank]
+        return [self._map_item(item) for item in self.plan.iteration_schedule(local)]
+
+    def collective_items(self, global_rank):
+        return [item for item in self.iteration_schedule(global_rank)
+                if isinstance(item, CollectiveItem)]
+
+    def unique_collectives(self):
+        return {key: self._map_item(item)
+                for key, item in self.plan.unique_collectives().items()}
+
+
+class _JitteredPlan:
+    """Wrap a plan so every rank's iteration starts with seeded launch skew.
+
+    Real rank processes of one job never hit their collective launches at
+    exactly the same instant (dataloader, Python overhead, interrupts); the
+    skew is what interleaves co-located jobs differently on different GPUs.
+    """
+
+    #: Tells TrainingRun to re-derive the schedule each iteration.
+    iteration_variant = True
+
+    def __init__(self, inner, job_id, jitter_us, seed):
+        self._inner = inner
+        self._job_id = job_id
+        self._jitter_us = jitter_us
+        self._rng = DeterministicRNG(seed).child("launch-jitter", job_id)
+        self._calls = {}
+
+    def __getattr__(self, attribute):
+        return getattr(self._inner, attribute)
+
+    def iteration_schedule(self, global_rank):
+        schedule = list(self._inner.iteration_schedule(global_rank))
+        if self._jitter_us > 0:
+            # Fresh skew per (rank, call): each iteration of each rank drifts
+            # independently, exactly like real dataloader timing.
+            call = self._calls.get(global_rank, 0)
+            self._calls[global_rank] = call + 1
+            skew = self._rng.child(global_rank, call).uniform(0.0, self._jitter_us)
+            schedule.insert(0, ComputeItem(skew, "launch-jitter"))
+        return schedule
+
+
+class JobRunner:
+    """Base: builds and installs one placed job's host programs."""
+
+    backend_flavor = "base"
+
+    def __init__(self, cluster, launch_jitter_us=25.0, seed=0):
+        self.cluster = cluster
+        self.launch_jitter_us = launch_jitter_us
+        self.seed = seed
+        self.runs = {}
+
+    def _training_backend(self, record):
+        raise NotImplementedError
+
+    def launch(self, record, time_us, on_rank_complete):
+        """Install the job's rank processes; returns the TrainingRun."""
+        spec = record.spec
+        mapped = RankMappedPlan(spec.build_plan(), record.lease.ranks)
+        plan = _JitteredPlan(mapped, spec.job_id, self.launch_jitter_us, self.seed)
+        run = TrainingRun(
+            self.cluster, plan, self._training_backend(record),
+            iterations=spec.iterations, warmup=spec.warmup,
+            on_rank_complete=on_rank_complete,
+        )
+        run.install(name_prefix=spec.job_id, start_time_us=time_us)
+        self.runs[spec.job_id] = run
+        return run
+
+    def release(self, record):
+        """Tear down the finished job's backend state (default: nothing)."""
+        return 0
+
+    def collect(self, record, total_time_us):
+        """Fill ``record.result`` once the simulation stopped."""
+        run = self.runs.get(record.job_id)
+        if run is None:
+            return None
+        record.result = run.collect(total_time_us, partial=True)
+        return record.result
+
+
+class DfcclJobRunner(JobRunner):
+    """All jobs share one DFCCL backend: one daemon kernel per GPU."""
+
+    backend_flavor = "dfccl"
+
+    def __init__(self, cluster, config=None, launch_jitter_us=25.0, seed=0):
+        super().__init__(cluster, launch_jitter_us, seed)
+        self.dfccl = DfcclBackend(cluster, config)
+
+    def _training_backend(self, record):
+        return DfcclTrainingBackend(
+            self.cluster, dfccl=self.dfccl, namespace=record.spec.job_id
+        )
+
+    def release(self, record):
+        """Tear down the finished job's backend state.
+
+        Unregisters the job's collectives and then evicts its pool
+        namespace: a departed tenant's communicators can never be reused
+        (pool keys carry the unique job id), so dropping them keeps the
+        shared backend bounded over a long churn stream.
+        """
+        run = self.runs.get(record.job_id)
+        if run is None:
+            return 0
+        released = run.backend.unregister_all()
+        self.dfccl.pool.evict_job(record.spec.job_id)
+        return released
+
+
+class NcclJobRunner(JobRunner):
+    """Each job drives dedicated NCCL kernels (plus a CPU orchestrator)."""
+
+    backend_flavor = "nccl"
+
+    def __init__(self, cluster, chunk_bytes=None, launch_jitter_us=25.0, seed=0,
+                 orchestrator_factory=None):
+        super().__init__(cluster, launch_jitter_us, seed)
+        self.nccl = NcclBackend(cluster, chunk_bytes=chunk_bytes)
+        self.orchestrator_factory = orchestrator_factory or (
+            lambda spec: MegatronManualOrchestrator(world_size=spec.world_size)
+        )
+
+    def _training_backend(self, record):
+        return NcclTrainingBackend(
+            self.cluster,
+            self.orchestrator_factory(record.spec),
+            nccl=self.nccl,
+            tenant=record.spec.job_id,
+        )
+
+
+def make_job_runner(flavor, cluster, **kwargs):
+    """Factory: ``"dfccl"`` or ``"nccl"``."""
+    if flavor == "dfccl":
+        return DfcclJobRunner(cluster, **kwargs)
+    if flavor == "nccl":
+        return NcclJobRunner(cluster, **kwargs)
+    raise ConfigurationError(f"unknown job runner flavor {flavor!r}")

@@ -1,0 +1,320 @@
+"""The multi-tenant cluster scheduler.
+
+:class:`ClusterScheduler` is an engine actor that admits :class:`JobSpec`
+streams, leases device sets through a placement policy, launches each placed
+job's rank processes through a job runner, and frees the lease when the job's
+last (surviving) rank finishes — immediately retrying queued jobs on the
+freed capacity.
+
+Scheduling discipline: queued jobs are served in (priority desc, arrival,
+job id) order with *backfill* — a job that does not fit is skipped, and a
+smaller later job may start first.  Leases are never preempted.
+
+The scheduler is a *worker* actor (not a daemon): it keeps the simulation
+alive across arrival gaps, and when every running job's rank processes are
+blocked — the cross-job SM-contention deadlock the dedicated-kernel baseline
+is susceptible to — the scheduler itself is merely blocked on its wake key,
+so the engine's deadlock detector fires exactly as it should.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError, InvalidStateError
+from repro.gpusim.engine import Actor, StepResult
+from repro.multijob.jobs import JobRecord, JobState
+from repro.multijob.placement import DeviceLease, make_placement_policy
+
+
+class _FailureWatch(Actor):
+    """Service actor delivering device failures to the scheduler promptly.
+
+    The scheduler actor is either sleeping toward the next arrival or blocked
+    on its wake key; a crash that eliminates a running job's last outstanding
+    rank would otherwise go unreaped until the next wake, inflating the job's
+    JCT and delaying lease reuse.  The watch blocks on every live device's
+    ``failed_key``, reaps synchronously when one fires, and signals the
+    scheduler's wake key.
+    """
+
+    daemon = True
+
+    def __init__(self, scheduler):
+        super().__init__(f"{scheduler.name}-failure-watch")
+        self.scheduler = scheduler
+        self._seen = set()
+
+    def step(self):
+        cluster = self.scheduler.cluster
+        newly_failed = [device for device in cluster.devices
+                        if device.failed and device.name not in self._seen]
+        if newly_failed:
+            for device in newly_failed:
+                self._seen.add(device.name)
+            self.scheduler._reap_failed_ranks(self.now)
+            if self.engine is not None:
+                self.engine.signal(self.scheduler.wake_key, self.now)
+        keys = [device.failed_key for device in cluster.devices
+                if not device.failed]
+        if not keys:
+            return StepResult.done("every device has failed")
+        return StepResult.blocked(keys, "watching for device failures")
+
+
+class ClusterScheduler(Actor):
+    """Leases GPUs of one shared cluster to an open-loop stream of jobs."""
+
+    def __init__(self, cluster, runner, policy="packed", tenants_per_gpu=2,
+                 name="cluster-scheduler"):
+        super().__init__(name)
+        if tenants_per_gpu < 1:
+            raise ConfigurationError(
+                f"tenants_per_gpu must be at least 1, got {tenants_per_gpu}"
+            )
+        self.cluster = cluster
+        self.runner = runner
+        self.policy = make_placement_policy(policy)
+        self.tenants_per_gpu = tenants_per_gpu
+        self.jobs = {}
+        self.load = {rank: 0 for rank in range(cluster.world_size)}
+        self._pending_arrivals = []      # JobSpecs sorted by arrival time
+        self._started = False
+        # Event log: (time_us, event, job_id) for trace inspection.
+        self.events = []
+
+    def on_registered(self, engine):
+        super().on_registered(engine)
+        engine.add_actor(_FailureWatch(self))
+
+    # -- wait keys -------------------------------------------------------------
+
+    @property
+    def wake_key(self):
+        """Signalled on job completion so a blocked scheduler re-evaluates."""
+        return ("multijob-wake", self.name)
+
+    # -- admission -------------------------------------------------------------
+
+    def submit(self, spec):
+        """Admit one job spec (before the engine runs)."""
+        if self._started:
+            raise InvalidStateError(
+                "submit() is for pre-run admission; arrivals are replayed by time"
+            )
+        spec.validate()
+        if spec.job_id in self.jobs or any(
+            pending.job_id == spec.job_id for pending in self._pending_arrivals
+        ):
+            raise ConfigurationError(f"job id {spec.job_id!r} already submitted")
+        if spec.world_size > self.cluster.world_size:
+            raise ConfigurationError(
+                f"job {spec.job_id} wants {spec.world_size} GPUs but the cluster "
+                f"has {self.cluster.world_size}"
+            )
+        self._pending_arrivals.append(spec)
+        self._pending_arrivals.sort(key=lambda pending: (pending.arrival_time_us,
+                                                         pending.job_id))
+        return spec
+
+    def submit_all(self, specs):
+        for spec in specs:
+            self.submit(spec)
+        return self
+
+    # -- engine protocol -------------------------------------------------------
+
+    def step(self):
+        self._started = True
+        self._admit_due(self.now)
+        self._reap_failed_ranks(self.now)
+        self._try_place_queued(self.now)
+
+        if not self._pending_arrivals and all(
+            record.terminal for record in self.jobs.values()
+        ):
+            return StepResult.done("all jobs finished")
+
+        if self._pending_arrivals:
+            # _admit_due already drained everything at or before now, so the
+            # head arrival is strictly in the future.
+            next_arrival = self._pending_arrivals[0].arrival_time_us
+            return StepResult.sleep(next_arrival, "awaiting next job arrival")
+
+        # No arrivals left: park until a completion (or the failure watch)
+        # signals the wake key.  If every running job is wedged this block
+        # participates in the engine's deadlock detection.
+        return StepResult.blocked([self.wake_key], "jobs running; queue parked")
+
+    # -- admission / placement internals --------------------------------------
+
+    def _admit_due(self, now):
+        while self._pending_arrivals and \
+                self._pending_arrivals[0].arrival_time_us <= now:
+            spec = self._pending_arrivals.pop(0)
+            record = JobRecord(spec=spec)
+            self.jobs[spec.job_id] = record
+            self.events.append((spec.arrival_time_us, "arrive", spec.job_id))
+
+    def _queued_records(self):
+        return sorted(
+            (record for record in self.jobs.values()
+             if record.state is JobState.QUEUED),
+            key=lambda record: (-record.spec.priority,
+                                record.spec.arrival_time_us,
+                                record.job_id),
+        )
+
+    def _effective_load(self):
+        """Load map with failed devices reported as full (never placeable)."""
+        return {
+            rank: (self.tenants_per_gpu if self.cluster.device(rank).failed
+                   else self.load[rank])
+            for rank in self.load
+        }
+
+    def _try_place_queued(self, now):
+        """Backfilling placement pass over the queue; returns jobs placed."""
+        placed = 0
+        for record in self._queued_records():
+            ranks = self.policy.place(
+                record.spec.world_size, self._effective_load(),
+                self.tenants_per_gpu, self.cluster,
+            )
+            if ranks is None:
+                continue
+            self._grant(record, ranks, now)
+            placed += 1
+        return placed
+
+    def _grant(self, record, ranks, now):
+        record.lease = DeviceLease(record.job_id, tuple(ranks), now)
+        record.start_time_us = now
+        record.state = JobState.RUNNING
+        for rank in ranks:
+            self.load[rank] += 1
+        self.events.append((now, "place", record.job_id))
+
+        def on_rank_complete(rank, time_us, job_id=record.job_id):
+            self.on_rank_done(job_id, rank, time_us)
+
+        self.runner.launch(record, now, on_rank_complete)
+
+    # -- completion ------------------------------------------------------------
+
+    def on_rank_done(self, job_id, rank, time_us):
+        """Hook run by each rank process's final host op."""
+        record = self.jobs[job_id]
+        record.ranks_done[rank] = time_us
+        self._maybe_finish(record, time_us)
+
+    def _outstanding_ranks(self, record):
+        """Leased ranks still owed a completion, ignoring failed devices."""
+        return [rank for rank in record.lease.ranks
+                if rank not in record.ranks_done
+                and not self.cluster.device(rank).failed]
+
+    def _maybe_finish(self, record, time_us):
+        if record.state is not JobState.RUNNING:
+            return
+        if self._outstanding_ranks(record):
+            return
+        lost = [rank for rank in record.lease.ranks
+                if rank not in record.ranks_done]
+        record.state = JobState.DEGRADED if lost else JobState.COMPLETED
+        record.finish_time_us = time_us
+        for rank in record.lease.ranks:
+            self.load[rank] -= 1
+        # Recycle the job's backend state (pooled communicators etc.).
+        self.runner.release(record)
+        self.events.append((time_us, "finish", record.job_id))
+        # Freed capacity: place queued work immediately, then wake the
+        # scheduler actor so it can notice overall completion.
+        self._try_place_queued(time_us)
+        if self.engine is not None:
+            self.engine.signal(self.wake_key, time_us)
+
+    def _reap_failed_ranks(self, now):
+        """Re-check running jobs whose leased devices died (fault churn).
+
+        A crash can land *after* every surviving rank already finished, in
+        which case no further completion hook will ever fire for the job.
+        """
+        for record in self.jobs.values():
+            if record.state is JobState.RUNNING:
+                self._maybe_finish(record, now)
+
+    # -- collection ------------------------------------------------------------
+
+    def finalize(self, total_time_us):
+        """Mark never-finished jobs, collect per-job results, return records.
+
+        Call after ``engine.run()`` returns (completion, deadline or recorded
+        deadlock).  Arrivals the run never reached (a deadline cut before
+        their arrival time) are admitted as unfinished/never-placed records,
+        so summary denominators always cover the whole submitted stream.
+        """
+        while self._pending_arrivals:
+            spec = self._pending_arrivals.pop(0)
+            self.jobs[spec.job_id] = JobRecord(spec=spec)
+        for record in self.jobs.values():
+            if not record.terminal:
+                record.state = JobState.UNFINISHED
+            if record.lease is not None:
+                self.runner.collect(record, total_time_us)
+        return sorted(self.jobs.values(), key=lambda record: record.job_id)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def job_rows(self):
+        return [record.row() for record in
+                sorted(self.jobs.values(), key=lambda record: record.job_id)]
+
+    def summary(self, total_time_us=None):
+        """Aggregate multi-tenant metrics over every admitted job."""
+        records = list(self.jobs.values())
+        finished = [record for record in records if record.finished]
+        unfinished = [record for record in records if not record.finished]
+        # Unfinished jobs split into never-placed (queued to the end: the
+        # cluster lacked capacity) and placed-but-stuck (wedged, or cut off
+        # by the caller's deadline).  Whether "stuck" means *deadlocked* is
+        # the engine's call — the bench layer gates on the deadlock report.
+        placed_unfinished = [record for record in unfinished
+                             if record.lease is not None]
+        jcts = [record.jct_us for record in finished if record.jct_us is not None]
+        queueing = [record.queueing_delay_us for record in records
+                    if record.queueing_delay_us is not None]
+        slo_evaluated = [record for record in records
+                         if record.slo_attained is not None]
+        completed_samples = sum(record.samples_processed for record in finished)
+        makespan = total_time_us
+        if makespan is None:
+            makespan = max((record.finish_time_us for record in finished),
+                           default=0.0)
+        return {
+            "jobs": len(records),
+            "completed": len(finished),
+            "degraded": sum(1 for record in finished
+                            if record.state is JobState.DEGRADED),
+            "unfinished": len(unfinished),
+            "never_placed": len(unfinished) - len(placed_unfinished),
+            "stuck_ratio": (len(placed_unfinished) / len(records)) if records else 0.0,
+            "mean_jct_us": (sum(jcts) / len(jcts)) if jcts else None,
+            "max_jct_us": max(jcts) if jcts else None,
+            "mean_queueing_delay_us": (sum(queueing) / len(queueing))
+                                      if queueing else None,
+            "aggregate_goodput_samples_per_s": (
+                completed_samples / (makespan / 1e6) if makespan else 0.0
+            ),
+            "slo_attainment": (
+                sum(1 for record in slo_evaluated if record.slo_attained)
+                / len(slo_evaluated) if slo_evaluated else None
+            ),
+        }
+
+
+def install_scheduler(cluster, runner, specs, policy="packed", tenants_per_gpu=2):
+    """Create a scheduler, admit ``specs`` and register it with the engine."""
+    scheduler = ClusterScheduler(cluster, runner, policy=policy,
+                                 tenants_per_gpu=tenants_per_gpu)
+    scheduler.submit_all(specs)
+    cluster.engine.add_actor(scheduler)
+    return scheduler

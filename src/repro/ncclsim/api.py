@@ -103,8 +103,12 @@ class NcclBackend:
         self.communicators.append(comm)
         return comm
 
-    def make_kernel(self, op, global_rank, host=None):
-        """Create the kernel for ``global_rank``'s part of ``op``."""
+    def make_kernel(self, op, global_rank, host=None, tenant=None):
+        """Create the kernel for ``global_rank``'s part of ``op``.
+
+        ``tenant`` tags the dedicated kernel with its owning job for the
+        multi-tenant SM-contention accounting in :mod:`repro.gpusim`.
+        """
         device = self.cluster.device(global_rank)
         group_rank = op.devices.index(device)
         executor = op.executor_for(group_rank)
@@ -116,5 +120,7 @@ class NcclBackend:
             rank=group_rank,
             grid_size=grid_size_for(op.spec.nbytes),
         )
+        if tenant is not None:
+            kernel.tenant = tenant
         op.register_kernel(group_rank, kernel)
         return kernel

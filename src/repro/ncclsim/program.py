@@ -5,10 +5,14 @@ from __future__ import annotations
 from repro.gpusim.host import LaunchKernel, WaitForSignal
 
 
-def launch_collective(backend, op, global_rank, stream="default"):
-    """Host op that launches ``global_rank``'s kernel for collective ``op``."""
+def launch_collective(backend, op, global_rank, stream="default", tenant=None):
+    """Host op that launches ``global_rank``'s kernel for collective ``op``.
+
+    ``tenant`` tags the kernel with its owning job (multi-tenant clusters).
+    """
     return LaunchKernel(
-        lambda host: backend.make_kernel(op, global_rank, host), stream=stream
+        lambda host: backend.make_kernel(op, global_rank, host, tenant=tenant),
+        stream=stream,
     )
 
 

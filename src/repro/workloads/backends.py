@@ -10,7 +10,7 @@ overhead of the selected orchestration baseline.
 
 from __future__ import annotations
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, InvalidStateError
 from repro.core import DfcclBackend
 from repro.gpusim.host import CpuCompute
 from repro.ncclsim import NcclBackend
@@ -19,24 +19,39 @@ from repro.workloads.parallelism import CollectiveItem, ComputeItem
 
 
 class DfcclTrainingBackend:
-    """Drive training collectives through DFCCL."""
+    """Drive training collectives through DFCCL.
+
+    By default the backend owns a private :class:`DfcclBackend`.  Under the
+    multi-tenant scheduler every job passes the *shared* ``dfccl`` instance
+    (one daemon kernel per GPU serves all co-located jobs) plus a
+    ``namespace`` — its job id — which prefixes collective ids and namespaces
+    the communicator pool, so concurrent jobs never collide on either.
+    """
 
     name = "dfccl"
 
-    def __init__(self, cluster, config=None, shuffle_submissions=False, rng=None):
+    def __init__(self, cluster, config=None, shuffle_submissions=False, rng=None,
+                 dfccl=None, namespace=None):
         self.cluster = cluster
-        self.dfccl = DfcclBackend(cluster, config)
+        self.dfccl = dfccl if dfccl is not None else DfcclBackend(cluster, config)
+        #: Whether finalize should destroy the rank contexts: only when this
+        #: backend created them — a shared backend outlives any one job.
+        self.owns_backend = dfccl is None
+        self.namespace = namespace
         self.shuffle_submissions = shuffle_submissions
         self.rng = rng
         self._coll_ids = {}
         self._next_coll_id = 0
 
+    def _full_coll_id(self, local_id):
+        return local_id if self.namespace is None else (self.namespace, local_id)
+
     def prepare(self, plan):
         """Register every distinct collective of the plan exactly once."""
-        ranks = list(range(plan.base_rank, plan.base_rank + plan.world_size))
+        ranks = list(plan.ranks())
         self.dfccl.init_all_ranks(ranks)
         for key, item in sorted(plan.unique_collectives().items(), key=lambda kv: kv[0]):
-            coll_id = self._next_coll_id
+            coll_id = self._full_coll_id(self._next_coll_id)
             self._next_coll_id += 1
             self._coll_ids[key] = coll_id
             self.dfccl.register_collective(
@@ -45,6 +60,7 @@ class DfcclTrainingBackend:
                 ranks=list(item.group_ranks),
                 priority=item.priority,
                 name=f"{item.kind.value}:{key}",
+                job=self.namespace,
             )
 
     def coll_id(self, key):
@@ -73,19 +89,47 @@ class DfcclTrainingBackend:
         return ops
 
     def finalize_ops(self, rank):
+        if not self.owns_backend:
+            # The shared backend's rank contexts serve other jobs; the
+            # daemon kernels quit voluntarily once every job drained.
+            return []
         return [self.dfccl.destroy_op(rank)]
+
+    def unregister_all(self):
+        """Unregister every collective this backend registered (job teardown).
+
+        Recycles the job's communicators into the shared pool.  Collectives
+        with an invocation still in flight (e.g. abandoned by recovery) are
+        left registered; returns the number actually unregistered.
+        """
+        released = 0
+        for coll_id in list(self._coll_ids.values()):
+            try:
+                self.dfccl.unregister_collective(coll_id)
+            except (ConfigurationError, InvalidStateError):
+                continue
+            released += 1
+        return released
 
     def stats(self, rank):
         return self.dfccl.stats(rank)
 
 
 class NcclTrainingBackend:
-    """Drive training collectives through NCCL plus a CPU-orchestration baseline."""
+    """Drive training collectives through NCCL plus a CPU-orchestration baseline.
 
-    def __init__(self, cluster, orchestrator, chunk_bytes=None):
+    ``tenant`` tags this job's dedicated kernels for the multi-tenant SM
+    accounting and gives the job its own device streams, modelling separate
+    rank processes sharing a GPU.
+    """
+
+    def __init__(self, cluster, orchestrator, chunk_bytes=None, nccl=None,
+                 tenant=None):
         self.cluster = cluster
         self.orchestrator = orchestrator
-        self.nccl = NcclBackend(cluster, chunk_bytes=chunk_bytes)
+        self.nccl = nccl if nccl is not None else NcclBackend(cluster, chunk_bytes=chunk_bytes)
+        self.tenant = tenant
+        self.stream = "comm" if tenant is None else f"comm-{tenant}"
         self._comms = {}
         self._decisions = {}
         self._plan = None
@@ -109,8 +153,7 @@ class NcclTrainingBackend:
         if decision is None:
             per_rank_orders = {
                 rank: [item.key for item in self._plan.collective_items(rank)]
-                for rank in range(self._plan.base_rank,
-                                  self._plan.base_rank + self._plan.world_size)
+                for rank in self._plan.ranks()
             }
             decision = self.orchestrator.coordinate(per_rank_orders, step_index=iteration)
             self._decisions[iteration] = decision
@@ -136,7 +179,8 @@ class NcclTrainingBackend:
                 comm = self._comm_for(item.group_ranks)
                 op = comm.collective((item.key, iteration), _spec_for(item))
                 group_rank = item.group_ranks.index(rank)
-                ops.append(launch_collective(self.nccl, op, rank, stream="comm"))
+                ops.append(launch_collective(self.nccl, op, rank,
+                                             stream=self.stream, tenant=self.tenant))
                 waits.append((op, group_rank))
             else:  # pragma: no cover - defensive
                 raise ConfigurationError(f"unknown schedule item {item!r}")

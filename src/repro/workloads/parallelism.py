@@ -67,6 +67,15 @@ class ParallelPlan:
     def global_batch_size(self):
         return self.microbatch_size * self.num_microbatches * self.dp
 
+    def ranks(self):
+        """Global ranks the plan occupies, in job-local order.
+
+        Plain plans occupy a contiguous block starting at ``base_rank``;
+        multi-tenant rank-mapped views override this with the leased device
+        set, which need not be contiguous.
+        """
+        return [self.base_rank + local for local in range(self.world_size)]
+
     def rank(self, pp_index, dp_index, tp_index):
         return self.base_rank + (pp_index * self.dp + dp_index) * self.tp + tp_index
 

@@ -63,9 +63,17 @@ class TrainingResult:
 
 
 class TrainingRun:
-    """Run ``iterations`` training iterations of ``plan`` on ``backend``."""
+    """Run ``iterations`` training iterations of ``plan`` on ``backend``.
 
-    def __init__(self, cluster, plan, backend, iterations=5, warmup=1):
+    ``run()`` drives a dedicated cluster to completion.  Multi-tenant callers
+    instead ``install()`` the run's host programs mid-simulation (the shared
+    cluster is run by the scheduler) and ``collect()`` the result afterwards;
+    ``on_rank_complete`` lets them observe per-rank completion times without
+    owning the engine loop.
+    """
+
+    def __init__(self, cluster, plan, backend, iterations=5, warmup=1,
+                 on_rank_complete=None):
         if iterations <= warmup:
             raise ConfigurationError("iterations must exceed warmup")
         self.cluster = cluster
@@ -73,6 +81,7 @@ class TrainingRun:
         self.backend = backend
         self.iterations = iterations
         self.warmup = warmup
+        self.on_rank_complete = on_rank_complete
         self._start_times = {}
         self._end_times = {}
 
@@ -81,30 +90,56 @@ class TrainingRun:
             store[(rank, iteration)] = host.now
         return CallHook(hook, cost_us=0.0, detail=f"mark iter {iteration}")
 
+    def _rank_done(self, rank):
+        def hook(host):
+            self.on_rank_complete(rank, host.now)
+        return CallHook(hook, cost_us=0.0, detail=f"rank {rank} done")
+
     def build_programs(self):
         """Prepare the backend and build one host program per rank."""
         self.backend.prepare(self.plan)
+        # Plans are normally iteration-invariant and their schedule is built
+        # once per rank; a plan that varies per iteration (e.g. the jittered
+        # multi-tenant view drawing fresh launch skew) opts in via the
+        # ``iteration_variant`` attribute.
+        iteration_variant = getattr(self.plan, "iteration_variant", False)
         programs = {}
-        for local in range(self.plan.world_size):
-            rank = self.plan.base_rank + local
-            schedule = self.plan.iteration_schedule(rank)
+        for rank in self.plan.ranks():
             ops = []
+            schedule = None if iteration_variant else self.plan.iteration_schedule(rank)
             for iteration in range(self.iterations):
+                if iteration_variant:
+                    schedule = self.plan.iteration_schedule(rank)
                 ops.append(self._record(self._start_times, rank, iteration))
                 ops.extend(self.backend.iteration_ops(rank, schedule, iteration))
                 ops.append(self._record(self._end_times, rank, iteration))
             ops.extend(self.backend.finalize_ops(rank))
+            if self.on_rank_complete is not None:
+                ops.append(self._rank_done(rank))
             programs[rank] = HostProgram(ops)
         return programs
 
-    def run(self):
-        """Execute the run and return a :class:`TrainingResult`."""
-        programs = self.build_programs()
-        for rank, program in programs.items():
-            self.cluster.add_host(rank, program, name=f"trainer-rank{rank}")
-        total = self.cluster.run()
+    def install(self, name_prefix="trainer", start_time_us=None):
+        """Add one host per rank to the cluster without running the engine.
 
-        ranks = [self.plan.base_rank + local for local in range(self.plan.world_size)]
+        Returns the created hosts.  ``start_time_us`` starts the rank
+        processes mid-simulation (jobs placed by the multi-tenant scheduler).
+        """
+        programs = self.build_programs()
+        return [
+            self.cluster.add_host(rank, program, name=f"{name_prefix}-rank{rank}",
+                                  start_time_us=start_time_us)
+            for rank, program in programs.items()
+        ]
+
+    def collect(self, total_time_us, partial=False):
+        """Assemble the :class:`TrainingResult` from the recorded marks.
+
+        With ``partial=True`` ranks or iterations that never recorded (a rank
+        lost to a crash, a job cut off at the deadline) are skipped instead of
+        raising, and iteration times cover the ranks that did report.
+        """
+        ranks = list(self.plan.ranks())
         iteration_times = []
         per_rank = {rank: [] for rank in ranks}
         for iteration in range(self.iterations):
@@ -113,19 +148,28 @@ class TrainingRun:
                 start = self._start_times.get((rank, iteration))
                 end = self._end_times.get((rank, iteration))
                 if start is None or end is None:
+                    if partial:
+                        continue
                     raise ConfigurationError(
                         f"iteration {iteration} on rank {rank} was not recorded"
                     )
                 per_rank[rank].append(end - start)
                 durations.append(end - start)
-            iteration_times.append(max(durations))
+            if durations:
+                iteration_times.append(max(durations))
 
         measured = iteration_times[self.warmup:]
         return TrainingResult(
             backend=self.backend.name,
-            iterations=self.iterations - self.warmup,
+            iterations=len(measured),
             global_batch_size=self.plan.global_batch_size,
             iteration_times_us=measured,
             per_rank_times_us=per_rank,
-            total_time_us=total,
+            total_time_us=total_time_us,
         )
+
+    def run(self):
+        """Execute the run on a dedicated cluster and return the result."""
+        self.install()
+        total = self.cluster.run()
+        return self.collect(total)

@@ -1,0 +1,84 @@
+"""Chrome-trace export of engine events (``chrome://tracing`` JSON)."""
+
+import json
+
+from repro.core import DfcclBackend, chrome_trace_events, write_chrome_trace
+from repro.gpusim import HostProgram, build_cluster
+
+
+def _traced_run():
+    """A tiny DFCCL run with engine tracing on; returns the trace list."""
+    trace = []
+    cluster = build_cluster("single-3090")
+    cluster.engine.trace = trace
+    backend = DfcclBackend(cluster)
+    ranks = [0, 1]
+    backend.init_all_ranks(ranks)
+    backend.register_all_reduce(0, count=1024, ranks=ranks)
+    programs = []
+    for rank in ranks:
+        handle = backend.submit(rank, 0)
+        programs.append(HostProgram(handle.ops() + [backend.destroy_op(rank)]))
+    cluster.add_hosts(programs)
+    cluster.run()
+    return trace
+
+
+class TestChromeTraceExport:
+    def test_events_have_trace_viewer_fields(self):
+        trace = _traced_run()
+        assert trace, "engine tracing must record events"
+        events = chrome_trace_events(trace)
+        metadata = [event for event in events if event["ph"] == "M"]
+        spans = [event for event in events if event["ph"] == "X"]
+        assert any(event["name"] == "process_name" for event in metadata)
+        thread_names = {event["args"]["name"] for event in metadata
+                        if event["name"] == "thread_name"}
+        # One thread row per engine actor: hosts, GPUs, daemon kernels.
+        assert any(name.startswith("host-") for name in thread_names)
+        assert any(name.startswith("dfccl-daemon") for name in thread_names)
+        assert spans
+        for event in spans:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert isinstance(event["tid"], int)
+
+    def test_spans_are_monotonic_per_thread(self):
+        events = chrome_trace_events(_traced_run())
+        by_tid = {}
+        for event in events:
+            if event["ph"] == "X":
+                by_tid.setdefault(event["tid"], []).append(event)
+        for spans in by_tid.values():
+            ends = [span["ts"] + span["dur"] for span in spans]
+            assert ends == sorted(ends)
+
+    def test_write_chrome_trace_file_is_loadable(self, tmp_path):
+        trace = _traced_run()
+        path = tmp_path / "engine-trace.json"
+        count = write_chrome_trace(trace, path)
+        assert count > 0
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert len(document["traceEvents"]) == count
+
+    def test_write_accepts_open_file(self, tmp_path):
+        trace = _traced_run()
+        path = tmp_path / "engine-trace.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            write_chrome_trace(trace, handle)
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_multijob_trace_shows_both_tenants(self, tmp_path):
+        from repro.bench import run_multijob
+
+        trace = []
+        result = run_multijob(backend="dfccl", seed=3, num_jobs=2,
+                              trace=trace, deadline_us=4_000_000)
+        assert result["summary"]["completed"] >= 1
+        events = chrome_trace_events(trace)
+        thread_names = {event["args"]["name"] for event in events
+                        if event.get("name") == "thread_name"}
+        tenants = {name.split("-rank")[0] for name in thread_names
+                   if name.startswith("job-")}
+        assert len(tenants) >= 2  # both jobs' rank processes appear

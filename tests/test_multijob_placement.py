@@ -1,0 +1,168 @@
+"""Property tests for the placement policies.
+
+The three policies must all be: *capacity-respecting* (never exceed the
+per-GPU tenant cap, never hand out failed devices), *disjoint* (within one
+lease every rank is distinct; with a tenant cap of one, concurrent leases are
+globally disjoint), and *deterministic* (the same seeded request sequence
+produces identical placements on every run).
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.gpusim import build_cluster
+from repro.multijob.placement import PLACEMENT_POLICIES, make_placement_policy
+
+POLICY_NAMES = sorted(PLACEMENT_POLICIES)
+
+
+def _cluster(topology="dual-3090-nvlink"):
+    return build_cluster(topology, deadlock_mode="record")
+
+
+def _random_requests(seed, count=40, max_world=8):
+    rng = DeterministicRNG(seed).child("placement-prop")
+    sizes = [1, 2, 4, max_world]
+    events = []
+    for index in range(count):
+        if rng.bernoulli(0.35):
+            events.append(("release", rng.randint(0, index)))
+        events.append(("place", rng.choice(sizes)))
+    return events
+
+
+def _replay(policy_name, cluster, events, capacity):
+    """Replay place/release events; returns the list of granted leases."""
+    policy = make_placement_policy(policy_name)
+    load = {rank: 0 for rank in range(cluster.world_size)}
+    active = {}
+    leases = []
+    for index, (action, value) in enumerate(events):
+        if action == "release":
+            lease = active.pop(value, None)
+            if lease is not None:
+                for rank in lease:
+                    load[rank] -= 1
+            continue
+        ranks = policy.place(value, load, capacity, cluster)
+        leases.append(ranks)
+        if ranks is not None:
+            active[len(leases) - 1] = ranks
+            for rank in ranks:
+                load[rank] += 1
+    return leases
+
+
+class TestPlacementProperties:
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    def test_within_lease_ranks_are_disjoint(self, policy_name):
+        cluster = _cluster()
+        for leases in (_replay(policy_name, cluster, _random_requests(5), 2),):
+            for lease in leases:
+                if lease is not None:
+                    assert len(set(lease)) == len(lease)
+
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    def test_capacity_one_gives_globally_disjoint_leases(self, policy_name):
+        cluster = _cluster()
+        policy = make_placement_policy(policy_name)
+        load = {rank: 0 for rank in range(cluster.world_size)}
+        granted = []
+        for world in (4, 4, 4, 4, 4):
+            ranks = policy.place(world, load, 1, cluster)
+            if ranks is None:
+                continue
+            for rank in ranks:
+                load[rank] += 1
+            granted.append(set(ranks))
+        for i, first in enumerate(granted):
+            for second in granted[i + 1:]:
+                assert not (first & second)
+        # 16 GPUs / 4 per job at capacity 1: exactly four leases fit.
+        assert len(granted) == 4
+        assert policy.place(4, load, 1, cluster) is None
+
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    @pytest.mark.parametrize("capacity", [1, 2, 3])
+    def test_capacity_is_respected(self, policy_name, capacity):
+        cluster = _cluster()
+        policy = make_placement_policy(policy_name)
+        load = {rank: 0 for rank in range(cluster.world_size)}
+        for _ in range(64):
+            ranks = policy.place(2, load, capacity, cluster)
+            if ranks is None:
+                break
+            for rank in ranks:
+                load[rank] += 1
+                assert load[rank] <= capacity
+        assert max(load.values()) <= capacity
+
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_deterministic_under_seed(self, policy_name, seed):
+        events = _random_requests(seed)
+        first = _replay(policy_name, _cluster(), events, 2)
+        second = _replay(policy_name, _cluster(), events, 2)
+        assert first == second
+
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    def test_insufficient_capacity_returns_none(self, policy_name):
+        cluster = _cluster()
+        policy = make_placement_policy(policy_name)
+        load = {rank: 1 for rank in range(cluster.world_size)}
+        assert policy.place(4, load, 1, cluster) is None
+
+
+class TestPolicyShapes:
+    def test_packed_consolidates_low_ranks(self):
+        cluster = _cluster()
+        policy = make_placement_policy("packed")
+        load = {rank: 0 for rank in range(cluster.world_size)}
+        first = policy.place(4, load, 2, cluster)
+        assert first == (0, 1, 2, 3)
+        for rank in first:
+            load[rank] += 1
+        # Packed re-uses the same GPUs while slots remain.
+        second = policy.place(4, load, 2, cluster)
+        assert second == (0, 1, 2, 3)
+
+    def test_spread_balances_load(self):
+        cluster = _cluster()
+        policy = make_placement_policy("spread")
+        load = {rank: 0 for rank in range(cluster.world_size)}
+        first = policy.place(8, load, 2, cluster)
+        for rank in first:
+            load[rank] += 1
+        second = policy.place(8, load, 2, cluster)
+        assert not (set(first) & set(second))
+
+    def test_nvlink_affine_stays_in_one_island(self):
+        # dual-3090-nvlink has 4-GPU NVLink islands.
+        cluster = _cluster("dual-3090-nvlink")
+        policy = make_placement_policy("nvlink-affine")
+        load = {rank: 0 for rank in range(cluster.world_size)}
+        lease = policy.place(4, load, 2, cluster)
+        interconnect = cluster.interconnect
+        domains = {
+            (cluster.device(rank).device_id.node,
+             interconnect.nvlink_domain(cluster.device(rank).device_id))
+            for rank in lease
+        }
+        assert len(domains) == 1
+
+    def test_nvlink_affine_falls_back_to_node_then_spread(self):
+        cluster = _cluster("dual-3090-nvlink")
+        policy = make_placement_policy("nvlink-affine")
+        load = {rank: 0 for rank in range(cluster.world_size)}
+        # 8 GPUs exceed any 4-GPU island but fit one node.
+        lease = policy.place(8, load, 2, cluster)
+        nodes = {cluster.device(rank).device_id.node for rank in lease}
+        assert len(nodes) == 1
+        # 16 GPUs exceed any node: spread fallback must still place.
+        lease = policy.place(16, load, 2, cluster)
+        assert lease is not None and len(lease) == 16
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_placement_policy("random")

@@ -80,11 +80,14 @@ class TestCommunicatorPoolRecycling:
         cluster = build_cluster("single-3090")
         return cluster, CommunicatorPool(cluster.interconnect)
 
-    def test_keys_are_device_ids(self):
+    def test_keys_are_job_and_device_ids(self):
         cluster, pool = self._pool()
         devices = [cluster.device(0), cluster.device(1)]
         key = pool._key(devices)
-        assert key == tuple(device.device_id for device in devices)
+        assert key == (None, tuple(device.device_id for device in devices))
+        assert pool._key(devices, job="job-a") == (
+            "job-a", tuple(device.device_id for device in devices)
+        )
 
     def test_release_then_acquire_reuses(self):
         cluster, pool = self._pool()
