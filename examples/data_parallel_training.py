@@ -8,12 +8,9 @@ Run with:  python examples/data_parallel_training.py
 """
 
 from repro.bench.reporting import format_table
-from repro.core import DfcclConfig
 from repro.gpusim import build_cluster
-from repro.orchestration import make_orchestrator
 from repro.workloads import (
-    DfcclTrainingBackend,
-    NcclTrainingBackend,
+    GroupTrainingBackend,
     ParallelPlan,
     TrainingRun,
     resnet50_model,
@@ -39,22 +36,24 @@ def run_system(label, backend_factory, plan):
 def main():
     plan = ParallelPlan(resnet50_model(), dp=NUM_GPUS, microbatch_size=BATCH_PER_GPU,
                         grad_buckets=24)
+    # One GroupTrainingBackend class drives every system: the backend name
+    # plus the orchestrator knob is the entire difference between rows.
     systems = [
         ("oneflow-static (NCCL)",
-         lambda cluster: NcclTrainingBackend(
-             cluster, make_orchestrator("oneflow", world_size=NUM_GPUS),
-             chunk_bytes=CHUNK_BYTES)),
+         lambda cluster: GroupTrainingBackend(cluster, "nccl",
+                                              orchestrator="oneflow",
+                                              chunk_bytes=CHUNK_BYTES)),
         ("dfccl",
-         lambda cluster: DfcclTrainingBackend(
-             cluster, DfcclConfig(chunk_bytes=CHUNK_BYTES))),
+         lambda cluster: GroupTrainingBackend(cluster, "dfccl",
+                                              chunk_bytes=CHUNK_BYTES)),
         ("kungfu (NCCL)",
-         lambda cluster: NcclTrainingBackend(
-             cluster, make_orchestrator("kungfu", world_size=NUM_GPUS),
-             chunk_bytes=CHUNK_BYTES)),
+         lambda cluster: GroupTrainingBackend(cluster, "nccl",
+                                              orchestrator="kungfu",
+                                              chunk_bytes=CHUNK_BYTES)),
         ("horovod (NCCL)",
-         lambda cluster: NcclTrainingBackend(
-             cluster, make_orchestrator("horovod", world_size=NUM_GPUS),
-             chunk_bytes=CHUNK_BYTES)),
+         lambda cluster: GroupTrainingBackend(cluster, "nccl",
+                                              orchestrator="horovod",
+                                              chunk_bytes=CHUNK_BYTES)),
     ]
     rows = [run_system(label, factory, plan) for label, factory in systems]
     print(format_table(rows, title=f"ResNet50 DP training on {NUM_GPUS} simulated GPUs "

@@ -10,12 +10,9 @@ Run with:  python examples/hybrid_parallel_gpt2.py
 """
 
 from repro.bench.reporting import format_table
-from repro.core import DfcclConfig
 from repro.gpusim import build_cluster
-from repro.orchestration import make_orchestrator
 from repro.workloads import (
-    DfcclTrainingBackend,
-    NcclTrainingBackend,
+    GroupTrainingBackend,
     ParallelPlan,
     TrainingRun,
     gpt2_model,
@@ -42,12 +39,12 @@ def main():
     rows = []
     for label, factory in [
         ("nccl + megatron manual orchestration",
-         lambda cluster: NcclTrainingBackend(
-             cluster, make_orchestrator("megatron", world_size=plan.world_size),
-             chunk_bytes=CHUNK_BYTES)),
+         lambda cluster: GroupTrainingBackend(cluster, "nccl",
+                                              orchestrator="megatron",
+                                              chunk_bytes=CHUNK_BYTES)),
         ("dfccl (no CPU orchestration)",
-         lambda cluster: DfcclTrainingBackend(
-             cluster, DfcclConfig(chunk_bytes=CHUNK_BYTES))),
+         lambda cluster: GroupTrainingBackend(cluster, "dfccl",
+                                              chunk_bytes=CHUNK_BYTES)),
     ]:
         cluster = build_cluster("single-3090")
         backend = factory(cluster)

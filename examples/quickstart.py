@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
-"""Quickstart: deadlock-free all-reduces with DFCCL on a simulated 8-GPU server.
+"""Quickstart: one program, every backend, via the unified ``repro.api``.
 
-The example registers two all-reduces, invokes them in *opposite orders* on the
-two halves of the server (the classic single-queue deadlock recipe of Fig. 1(c)
-in the paper), and shows that DFCCL completes them anyway — then runs the same
-program against the NCCL baseline and shows that it deadlocks.
+The example registers two all-reduces and invokes them in *opposite orders*
+on the two halves of a simulated 8-GPU server (the classic single-queue
+deadlock recipe of Fig. 1(c) in the paper).  The program is written ONCE
+against ``make_backend`` + ``ProcessGroup`` and replayed over every
+registered backend:
+
+* DFCCL's preemptible daemon kernel completes it;
+* the NCCL-style dedicated-kernel baseline deadlocks;
+* the host-staged CUDA-aware MPI model completes it too — collective order
+  cannot wedge a path with no resident GPU kernels.
 
 Run with:  python examples/quickstart.py
 """
 
+from repro.api import make_backend, wait_all
 from repro.common.errors import DeadlockError
-from repro.core import DfcclBackend
 from repro.gpusim import HostProgram, build_cluster
-from repro.ncclsim import NcclBackend
-from repro.ncclsim.program import launch_collective, wait_collective
 
 NUM_GPUS = 8
 ELEMENTS = 256 * 1024  # 1 MB of float32 per collective
@@ -24,55 +28,40 @@ def order_for(rank):
     return [0, 1] if rank < NUM_GPUS // 2 else [1, 0]
 
 
-def run_dfccl():
+def run_backend(name):
+    """The SAME disordered program, handed to any registered backend."""
     cluster = build_cluster("single-3090")
-    dfccl = DfcclBackend(cluster)
-    ranks = list(range(NUM_GPUS))
-    dfccl.init_all_ranks(ranks)                       # dfcclInit per GPU
-    dfccl.register_all_reduce(0, count=ELEMENTS, ranks=ranks)   # dfcclRegisterAllReduce
-    dfccl.register_all_reduce(1, count=ELEMENTS, ranks=ranks)
+    backend = make_backend(name, cluster)
+    group = backend.new_group(list(range(NUM_GPUS)))
 
     programs = []
-    for rank in ranks:
-        handles = [dfccl.submit(rank, coll_id) for coll_id in order_for(rank)]
-        ops = [handle.submit_op() for handle in handles]      # dfcclRunAllReduce (async)
-        ops += [handle.wait_op() for handle in handles]       # wait for the callbacks
-        ops.append(dfccl.destroy_op(rank))                    # dfcclDestroy
+    for rank in group.ranks:
+        works = [group.all_reduce(rank, count=ELEMENTS, key=coll_id)
+                 for coll_id in order_for(rank)]          # async submits
+        ops = [work.submit_op() for work in works]
+        ops += wait_all(works)                            # wait for completion
+        ops += backend.finalize_ops(rank)                 # backend teardown
         programs.append(HostProgram(ops))
     cluster.add_hosts(programs)
-    finish = cluster.run()
 
-    preemptions = sum(dfccl.stats(rank).preemptions for rank in ranks)
-    print(f"DFCCL : completed at t={finish:9.1f} us "
-          f"(daemon preemptions across GPUs: {preemptions})")
-
-
-def run_nccl():
-    cluster = build_cluster("single-3090")
-    nccl = NcclBackend(cluster)
-    comm = nccl.create_communicator()
-    op_a = comm.all_reduce(0, count=ELEMENTS)
-    op_b = comm.all_reduce(1, count=ELEMENTS)
-    by_id = {0: op_a, 1: op_b}
-
-    programs = []
-    for rank in range(NUM_GPUS):
-        ops = [launch_collective(nccl, by_id[coll_id], rank) for coll_id in order_for(rank)]
-        ops += [wait_collective(by_id[coll_id], rank) for coll_id in order_for(rank)]
-        programs.append(HostProgram(ops))
-    cluster.add_hosts(programs)
     try:
-        cluster.run()
-        print("NCCL  : completed (unexpected!)")
+        finish = cluster.run()
     except DeadlockError as error:
-        print(f"NCCL  : DEADLOCK — {len(error.blocked)} actors blocked, as the paper predicts")
+        print(f"{name:6s}: DEADLOCK — {len(error.blocked)} actors blocked, "
+              "as the paper predicts")
+        return
+    diagnostics = backend.diagnostics()
+    extra = ""
+    if "preemptions" in diagnostics:
+        extra = f" (daemon preemptions across GPUs: {diagnostics['preemptions']})"
+    print(f"{name:6s}: completed at t={finish:9.1f} us{extra}")
 
 
 def main():
     print("Disordered all-reduce invocation on a simulated 8-GPU server")
     print("=" * 64)
-    run_dfccl()
-    run_nccl()
+    for name in ("dfccl", "nccl", "mpi"):
+        run_backend(name)
 
 
 if __name__ == "__main__":

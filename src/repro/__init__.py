@@ -3,6 +3,9 @@ communication for GPUs).
 
 Subpackages:
 
+* :mod:`repro.api` — the unified application surface: backend registry
+  (``make_backend``), torch.distributed-style ``ProcessGroup`` and ``Work``
+  futures over every execution backend;
 * :mod:`repro.gpusim` — discrete-event GPU cluster simulator;
 * :mod:`repro.collectives` — primitive sequences (ring and tree algorithms),
   channels, cost model and the topology-aware algorithm selector;

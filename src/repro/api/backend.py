@@ -1,0 +1,151 @@
+"""The ``CollectiveBackend`` protocol and the backend registry.
+
+One execution-platform abstraction fronts every collective engine in the
+repo: applications obtain a backend with :func:`make_backend`, carve process
+groups out of it with :meth:`CollectiveBackend.new_group`, and drive the
+returned :class:`~repro.api.work.Work` futures — without knowing whether a
+shared daemon kernel (DFCCL), dedicated busy-waiting kernels (NCCL) or an
+analytic host-staged path (MPI) executes the primitives underneath.
+
+Backends self-register in :data:`BACKENDS`; third-party engines plug in via
+:func:`register_backend` without touching any consumer code.  All of the
+``backend == "dfccl"``-style string dispatch that used to be copied across
+workloads, multijob, faults and bench lives here and nowhere else.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.api.group import ProcessGroup
+
+#: Registry of backend factories: name -> factory(cluster, **knobs).
+BACKENDS = {}
+
+
+def register_backend(name, factory):
+    """Register a backend factory under ``name`` (overwrites silently)."""
+    BACKENDS[name] = factory
+    return factory
+
+
+def make_backend(name, cluster, **knobs):
+    """Instantiate a registered backend over ``cluster``.
+
+    ``knobs`` are passed through to the backend factory (``config=`` /
+    ``chunk_bytes=`` / ``algorithm=`` / ``orchestrator=`` ...); every
+    factory accepts the common knobs it cannot honour and ignores them, so
+    one experiment driver can sweep backends with a uniform knob set.
+    """
+    factory = BACKENDS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown collective backend {name!r} "
+            f"(registered: {', '.join(sorted(BACKENDS))})"
+        )
+    return factory(cluster, **knobs)
+
+
+def resolve_orchestrator(spec, world_size):
+    """Resolve an orchestrator knob: ``None``, a name, or an instance."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        from repro.orchestration import make_orchestrator
+
+        return make_orchestrator(spec, world_size=world_size)
+    return spec
+
+
+class CollectiveBackend:
+    """Abstract execution platform behind :class:`ProcessGroup`.
+
+    Subclasses implement :meth:`create_work` (and usually
+    :meth:`ensure_collective`); everything else has conservative defaults so
+    a minimal backend is just a Work factory.
+    """
+
+    name = "abstract"
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._next_group_id = 0
+
+    # -- group creation -------------------------------------------------------
+
+    def new_group(self, ranks=None, job=None, priority=0, name=None):
+        """Create a :class:`ProcessGroup` over ``ranks`` (default: all GPUs).
+
+        ``job`` namespaces the group's backend-side resources for
+        multi-tenant isolation; ``priority`` is the default collective
+        priority of the group's calls.
+        """
+        if ranks is None:
+            ranks = list(range(self.cluster.world_size))
+        group_id = self._next_group_id
+        self._next_group_id += 1
+        return ProcessGroup(self, ranks, group_id=group_id, job=job,
+                            priority=priority, name=name)
+
+    # -- per-collective hooks ---------------------------------------------------
+
+    def ensure_collective(self, group, spec, key):
+        """Materialize a logical collective ahead of its first call (no-op)."""
+
+    def create_work(self, group, spec, key, index, rank, callback=None, stream=None):
+        """Create the Work future for one rank's part of one invocation."""
+        raise NotImplementedError
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def finalize_ops(self, rank):
+        """Host ops a rank program appends after its last collective."""
+        return []
+
+    def unregister_all(self):
+        """Unregister every collective this backend (view) registered."""
+        return 0
+
+    def job_view(self, job):
+        """A backend view whose groups default to the ``job`` namespace.
+
+        Views share the underlying engine (one daemon kernel per GPU serves
+        every tenant under DFCCL; one kernel factory under NCCL) while
+        keeping per-job resources — ids, communicators, streams — apart.
+        """
+        return self
+
+    def release_job(self, job):
+        """Drop backend-side resources of a departed tenant (no-op)."""
+
+    # -- training integration ------------------------------------------------------
+
+    def orchestrator_for(self, world_size):
+        """The CPU-orchestration baseline training over this backend needs.
+
+        DFCCL needs none (deadlock freedom is the backend's job); the NCCL
+        baseline resolves its configured orchestrator here.
+        """
+        return None
+
+    # -- reporting -------------------------------------------------------------------
+
+    def stats(self, rank):
+        """Backend-specific per-rank statistics object (or ``None``)."""
+        return None
+
+    def diagnostics(self):
+        """Backend-specific post-run diagnostics as a plain dict."""
+        return {}
+
+    def perf_report(self, group, works_by_rank):
+        """Latency / core-time / algorithm metrics for a timed-run program.
+
+        ``works_by_rank`` maps every group rank to its list of works, one
+        per timed invocation in submission order.  Returns a dict with at
+        least ``latency_us``, ``core_time_us``, ``algorithm`` and
+        ``preemptions`` keys.
+        """
+        raise NotImplementedError(f"{self.name} backend has no perf report")
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name}>"

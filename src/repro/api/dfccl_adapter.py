@@ -1,0 +1,234 @@
+"""DFCCL behind the unified ``repro.api`` front-end.
+
+The adapter owns (or shares) a :class:`~repro.core.DfcclBackend`, registers
+one DFCCL collective per logical ``(spec, key)`` of each process group with
+auto-assigned collective ids, and wraps every submission's
+:class:`~repro.core.api.InvocationHandle` in a :class:`DfcclWork` future.
+
+``job_view`` returns a view sharing the same DfcclBackend — one daemon
+kernel per GPU serves every tenant — whose registrations are namespaced by
+the job id, both in the collective-id space and in the communicator pool.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.common.errors import ConfigurationError, InvalidStateError
+from repro.core import DfcclBackend, DfcclConfig
+from repro.api.backend import CollectiveBackend, register_backend
+from repro.api.work import CompletionInfo, Work
+
+
+class DfcclWork(Work):
+    """Work future over one DFCCL invocation handle."""
+
+    def __init__(self, group, rank, key, index, handle):
+        super().__init__(group, rank, key, index)
+        self.handle = handle
+
+    @property
+    def invocation(self):
+        return self.handle.invocation
+
+    def submit_op(self):
+        return self.handle.submit_op()
+
+    def wait_op(self):
+        return self.handle.wait_op()
+
+    @property
+    def done(self):
+        return self.handle.done
+
+    @property
+    def started_at_us(self):
+        return self.invocation.submit_times.get(self.handle.group_rank)
+
+    def completion_info(self):
+        invocation = self.invocation
+        group_rank = self.handle.group_rank
+        if not invocation.is_gpu_complete(group_rank):
+            return None
+        # The signature this rank's GPU part actually completed under — a
+        # rank that finished before a later recovery keeps the pre-crash
+        # full-group identity even though it is observed afterwards.
+        signature = invocation.completion_signatures.get(
+            group_rank, invocation.participant_signature()
+        )
+        cluster = self.group.backend.cluster
+        executor = invocation.executor_if_cached(group_rank)
+        if executor is not None:
+            # Ground truth: the member set of the communicator this rank
+            # actually communicated over.
+            members = tuple(cluster.rank_of(device)
+                            for device in executor.communicator.devices)
+        else:
+            members = tuple(invocation.coll.global_ranks[rank]
+                            for rank in signature[1])
+        return CompletionInfo(
+            signature=signature,
+            member_ranks=members,
+            time_us=invocation.complete_times.get(group_rank),
+        )
+
+    def primitive_sequence(self):
+        executor = self.invocation.executor_if_cached(self.handle.group_rank)
+        if executor is None:
+            executor = self.invocation.executor_for(self.handle.group_rank)
+        return list(executor.primitives)
+
+
+class DfcclCollectiveBackend(CollectiveBackend):
+    """DFCCL as a :class:`CollectiveBackend`."""
+
+    name = "dfccl"
+
+    def __init__(self, cluster, config=None, dfccl=None, job=None,
+                 chunk_bytes=None, algorithm=None, **_ignored):
+        super().__init__(cluster)
+        if dfccl is None:
+            base = config or DfcclConfig()
+            overrides = {}
+            if chunk_bytes is not None:
+                overrides["chunk_bytes"] = chunk_bytes
+            if algorithm is not None:
+                overrides["algorithm"] = algorithm
+            if overrides:
+                base = base.with_overrides(**overrides)
+            dfccl = DfcclBackend(cluster, base)
+            #: Whether finalize should destroy the rank contexts: only when
+            #: this adapter created them — a shared backend outlives any one
+            #: view (multi-tenant job views never destroy).
+            self.owns_backend = True
+        else:
+            self.owns_backend = False
+        self.dfccl = dfccl
+        self.job = job
+        self._collectives = {}
+        self._registered_ids = []
+
+    # -- registration ----------------------------------------------------------
+
+    def _effective_job(self, group):
+        return group.job if group.job is not None else self.job
+
+    def ensure_collective(self, group, spec, key):
+        ident = (group, spec, key)
+        coll = self._collectives.get(ident)
+        if coll is None:
+            job = self._effective_job(group)
+            coll_id = self.dfccl.allocate_coll_id(job=job)
+            suffix = "" if key is None else f":{key}"
+            # ProcessGroup already resolved the effective priority (explicit
+            # per-call value or the group default) into the spec.
+            coll = self.dfccl.register_collective(
+                coll_id, spec, ranks=group.ranks, priority=spec.priority,
+                name=f"{group.name}:{spec.kind.value}{suffix}",
+                job=job,
+            )
+            self._collectives[ident] = coll
+            self._registered_ids.append(coll_id)
+        return coll
+
+    def create_work(self, group, spec, key, index, rank, callback=None, stream=None):
+        coll = self.ensure_collective(group, spec, key)
+        handle = self.dfccl.submit(rank, coll.coll_id)
+        work = DfcclWork(group, rank, key, index, handle)
+        if callback is not None:
+            handle.callback = lambda invocation, work=work: callback(work)
+        return work
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def finalize_ops(self, rank):
+        if not self.owns_backend:
+            # Shared rank contexts serve other views; the daemon kernels
+            # quit voluntarily once every tenant drained.
+            return []
+        return [self.dfccl.destroy_op(rank)]
+
+    def unregister_all(self):
+        """Unregister this view's collectives, recycling their communicators.
+
+        Collectives with an invocation still in flight (e.g. abandoned by
+        recovery) are left registered; returns the number unregistered.
+        """
+        released = 0
+        for coll_id in list(self._registered_ids):
+            try:
+                self.dfccl.unregister_collective(coll_id)
+            except (ConfigurationError, InvalidStateError):
+                continue
+            self._registered_ids.remove(coll_id)
+            # Drop the cached registration too, so a later call on the same
+            # group re-registers instead of submitting to a dead id.
+            self._collectives = {ident: coll for ident, coll in
+                                 self._collectives.items()
+                                 if coll.coll_id != coll_id}
+            released += 1
+        return released
+
+    def job_view(self, job):
+        return DfcclCollectiveBackend(self.cluster, dfccl=self.dfccl, job=job)
+
+    def release_job(self, job):
+        """Evict a departed tenant's communicator-pool namespace."""
+        self.dfccl.pool.evict_job(job)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def stats(self, rank):
+        return self.dfccl.stats(rank)
+
+    def diagnostics(self):
+        daemon_stats = self.dfccl.all_stats()
+        diag = {
+            "pool": self.dfccl.pool.stats(),
+            "daemon_stats": daemon_stats,
+            "preemptions": sum(stats.preemptions for stats in daemon_stats.values()),
+            "voluntary_quits": sum(stats.voluntary_quits
+                                   for stats in daemon_stats.values()),
+        }
+        manager = self.dfccl.recovery_manager
+        if manager is not None:
+            stats = manager.stats
+            diag["recovery"] = {
+                "recoveries": stats.recoveries,
+                "invocations_rerun": stats.invocations_rerun,
+                "suspected_stragglers": stats.suspected_stragglers,
+                "abandoned": stats.abandoned,
+                "events": [
+                    {
+                        "time_us": event.time_us,
+                        "coll_id": event.coll_id,
+                        "failed_ranks": event.failed_ranks,
+                        "survivor_ranks": event.survivor_ranks,
+                        "detection_latency_us": event.detection_latency_us,
+                        "generation": event.generation,
+                    }
+                    for event in stats.events
+                ],
+            }
+        return diag
+
+    def perf_report(self, group, works_by_rank):
+        first = group.ranks[0]
+        works = works_by_rank[first]
+        latencies = []
+        for work in works:
+            invocation = work.invocation
+            start = min(invocation.submit_times.values())
+            end = max(invocation.complete_times.values())
+            latencies.append(end - start)
+        stats = self.dfccl.stats(first)
+        completed = max(1, stats.cqes_written)
+        return {
+            "algorithm": works[0].invocation.coll.algorithm,
+            "latency_us": statistics.fmean(latencies),
+            "core_time_us": (stats.execute_time_us + stats.preparing_time_us) / completed,
+            "preemptions": stats.preemptions,
+        }
+
+
+register_backend("dfccl", DfcclCollectiveBackend)

@@ -1,0 +1,161 @@
+"""CUDA-aware MPI as a third ``repro.api`` backend.
+
+The Sec. 2.1 baseline is analytic (:class:`~repro.ncclsim.CudaAwareMpiModel`);
+here it becomes a driveable execution platform: every collective is a
+host-staged rendezvous — each rank's submit records its arrival, the wait op
+blocks until every member arrived and then sleeps out the model's transfer
+time.  No GPU kernels are involved, which is exactly the property the paper
+motivates NCCL (and then DFCCL) against.
+
+The ring-all-reduce cost formula is applied to every collective kind: the
+host-staged path is dominated by staging latency and bandwidth, not by the
+algorithm shape, and this model only needs to be faithful enough for the
+crossover comparisons.
+"""
+
+from __future__ import annotations
+
+import itertools
+import statistics
+
+from repro.gpusim.host import CallHook, HostOp
+from repro.gpusim.engine import StepResult
+from repro.ncclsim import CudaAwareMpiModel
+from repro.api.backend import CollectiveBackend, register_backend
+from repro.api.work import CompletionInfo, Work
+
+_mpi_op_ids = itertools.count()
+
+
+class _MpiCollective:
+    """Shared rendezvous state of one host-staged collective invocation."""
+
+    def __init__(self, spec, ranks, model):
+        self.op_id = next(_mpi_op_ids)
+        self.spec = spec
+        self.ranks = list(ranks)
+        self.duration_us = model.all_reduce_time_us(spec.nbytes, len(self.ranks))
+        self.submit_times = {}
+        self.complete_times = {}
+
+    @property
+    def submitted_key(self):
+        return ("mpi-all-submitted", self.op_id)
+
+    def all_submitted(self):
+        return len(self.submit_times) == len(self.ranks)
+
+    def finish_time_us(self):
+        return max(self.submit_times.values()) + self.duration_us
+
+
+class _MpiWaitOp(HostOp):
+    """Block until the rendezvous formed, then sleep out the transfer."""
+
+    def __init__(self, work):
+        self.work = work
+
+    def poll(self, host):
+        coll = self.work.coll
+        if not coll.all_submitted():
+            return StepResult.blocked([coll.submitted_key],
+                                      f"mpi rendezvous op {coll.op_id}")
+        target = coll.finish_time_us()
+        if host.now < target:
+            return StepResult.sleep(target, f"mpi transfer op {coll.op_id}")
+        self.work.mark_complete(host.now)
+        return StepResult.progress(f"mpi op {coll.op_id} done")
+
+
+class MpiWork(Work):
+    """Work future over one rank's part of a host-staged collective."""
+
+    def __init__(self, group, rank, key, index, coll, callback=None):
+        super().__init__(group, rank, key, index)
+        self.coll = coll
+        self.callback = callback
+
+    def submit_op(self):
+        def submit(host):
+            self.coll.submit_times[self.rank] = host.now
+            if self.coll.all_submitted():
+                host.cluster.engine.signal(self.coll.submitted_key, host.now)
+
+        return CallHook(submit, detail=f"mpi submit op {self.coll.op_id}")
+
+    def wait_op(self):
+        return _MpiWaitOp(self)
+
+    def mark_complete(self, time_us):
+        if self.rank not in self.coll.complete_times:
+            self.coll.complete_times[self.rank] = time_us
+            if self.callback is not None:
+                self.callback(self)
+
+    @property
+    def done(self):
+        return self.rank in self.coll.complete_times
+
+    @property
+    def started_at_us(self):
+        return self.coll.submit_times.get(self.rank)
+
+    def completion_info(self):
+        if not self.done:
+            return None
+        return CompletionInfo(
+            signature=(0, tuple(range(len(self.coll.ranks)))),
+            member_ranks=tuple(self.coll.ranks),
+            time_us=self.coll.complete_times[self.rank],
+        )
+
+
+class MpiCollectiveBackend(CollectiveBackend):
+    """Analytic host-staged MPI as a :class:`CollectiveBackend`."""
+
+    name = "mpi"
+
+    def __init__(self, cluster, model=None, alpha_us=None, beta_gbps=None,
+                 chunk_bytes=None, algorithm=None, config=None, **_ignored):
+        # ``chunk_bytes`` / ``algorithm`` / ``config`` are accepted for knob
+        # uniformity with the other factories; the analytic model has no use
+        # for them.
+        del chunk_bytes, algorithm, config
+        super().__init__(cluster)
+        if model is None:
+            kwargs = {}
+            if alpha_us is not None:
+                kwargs["alpha_us"] = alpha_us
+            if beta_gbps is not None:
+                kwargs["beta_gbps"] = beta_gbps
+            model = CudaAwareMpiModel(**kwargs)
+        self.model = model
+        self._collectives = {}
+
+    def create_work(self, group, spec, key, index, rank, callback=None, stream=None):
+        del stream  # host-staged: there is no kernel launch stream
+        ident = (group.group_id, spec, key, index)
+        coll = self._collectives.get(ident)
+        if coll is None:
+            coll = _MpiCollective(spec, group.ranks, self.model)
+            self._collectives[ident] = coll
+        return MpiWork(group, rank, key, index, coll, callback=callback)
+
+    def perf_report(self, group, works_by_rank):
+        first = group.ranks[0]
+        latencies = []
+        for work in works_by_rank[first]:
+            coll = work.coll
+            latencies.append(max(coll.complete_times.values())
+                             - min(coll.submit_times.values()))
+        return {
+            "algorithm": "host-staged-ring",
+            "latency_us": statistics.fmean(latencies),
+            "core_time_us": statistics.fmean(
+                work.coll.duration_us for work in works_by_rank[first]
+            ),
+            "preemptions": 0,
+        }
+
+
+register_backend("mpi", MpiCollectiveBackend)

@@ -1,0 +1,163 @@
+"""The NCCL-style dedicated-kernel baseline behind ``repro.api``.
+
+Each invocation of a logical collective becomes one
+:class:`~repro.ncclsim.NcclCollectiveOp` shared by every participating rank
+(match-by-call-order, as in real NCCL); a rank's :class:`NcclWork` launches
+its dedicated kernel and waits on its per-rank completion, exactly like the
+old ``launch_collective``/``wait_collective`` op lists.
+
+``tenant`` tags the view's kernels with their owning job (multi-tenant SM
+accounting) and gives it its own launch stream.  ``orchestrator`` names the
+CPU-coordination baseline a *training* loop over this backend should charge
+(resolved lazily by :meth:`orchestrator_for`, defaulting to the paper's
+Megatron-style manual orchestration); raw ProcessGroup programs — deadlock
+studies, microbenchmarks — never pay it.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.ncclsim import NcclBackend
+from repro.ncclsim.program import launch_collective, wait_collective
+from repro.api.backend import (
+    CollectiveBackend,
+    register_backend,
+    resolve_orchestrator,
+)
+from repro.api.work import CompletionInfo, Work
+
+
+class NcclWork(Work):
+    """Work future over one rank's part of one dedicated-kernel op."""
+
+    def __init__(self, group, rank, key, index, backend, op, group_rank, stream):
+        super().__init__(group, rank, key, index)
+        self.backend = backend
+        self.op = op
+        self.group_rank = group_rank
+        self.stream = stream
+
+    def submit_op(self):
+        return launch_collective(self.backend.nccl, self.op, self.rank,
+                                 stream=self.stream, tenant=self.backend.tenant)
+
+    def wait_op(self):
+        return wait_collective(self.op, self.group_rank)
+
+    @property
+    def done(self):
+        return self.op.is_complete(self.group_rank)
+
+    @property
+    def started_at_us(self):
+        kernel = self.op.kernel(self.group_rank)
+        return kernel.launch_time_us if kernel is not None else None
+
+    def completion_info(self):
+        if not self.done:
+            return None
+        # Dedicated kernels have no elastic recovery: the participant set is
+        # always the full registration-time group, generation 0.
+        return CompletionInfo(
+            signature=(0, tuple(range(self.op.group_size))),
+            member_ranks=tuple(self.group.ranks),
+            time_us=self.op.completion_time(self.group_rank),
+        )
+
+    def primitive_sequence(self):
+        kernel = self.op.kernel(self.group_rank)
+        if kernel is not None:
+            return list(kernel.executor.primitives)
+        return list(self.op.executor_for(self.group_rank).primitives)
+
+
+class NcclCollectiveBackend(CollectiveBackend):
+    """The dedicated-kernel baseline as a :class:`CollectiveBackend`."""
+
+    name = "nccl"
+
+    def __init__(self, cluster, cost_model=None, chunk_bytes=None, algorithm="ring",
+                 nccl=None, tenant=None, orchestrator="megatron", config=None,
+                 **_ignored):
+        # ``config`` (a DfcclConfig) is accepted for knob-uniformity with the
+        # dfccl factory and ignored: the baseline has no daemon to configure.
+        del config
+        super().__init__(cluster)
+        self.nccl = nccl if nccl is not None else NcclBackend(
+            cluster, cost_model=cost_model, chunk_bytes=chunk_bytes,
+            algorithm=algorithm,
+        )
+        self.tenant = tenant
+        self.default_stream = "comm" if tenant is None else f"comm-{tenant}"
+        self._orchestrator = orchestrator
+        self._comms = {}
+        self._ops = {}
+
+    def _comm_for(self, ranks):
+        ranks = tuple(ranks)
+        comm = self._comms.get(ranks)
+        if comm is None:
+            comm = self.nccl.create_communicator(ranks=list(ranks))
+            self._comms[ranks] = comm
+        return comm
+
+    def create_work(self, group, spec, key, index, rank, callback=None, stream=None):
+        comm = self._comm_for(group.ranks)
+        ident = (group.group_id, spec, key, index)
+        op = self._ops.get(ident)
+        if op is None:
+            suffix = "" if key is None else f":{key}"
+            op = comm.collective(
+                ident, spec,
+                name=f"{group.name}:{spec.kind.value}{suffix}#{index}",
+            )
+            self._ops[ident] = op
+        group_rank = comm.group_rank(rank)
+        work = NcclWork(group, rank, key, index, self, op, group_rank,
+                        stream if stream is not None else self.default_stream)
+        if callback is not None:
+            op.add_completion_callback(group_rank,
+                                       lambda work=work: callback(work))
+        return work
+
+    # -- training integration ----------------------------------------------------
+
+    def orchestrator_for(self, world_size):
+        return resolve_orchestrator(self._orchestrator, world_size)
+
+    def job_view(self, job):
+        return NcclCollectiveBackend(self.cluster, nccl=self.nccl, tenant=job,
+                                     orchestrator=self._orchestrator)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def diagnostics(self):
+        return {"communicators": len(self.nccl.communicators)}
+
+    def perf_report(self, group, works_by_rank):
+        first = group.ranks[0]
+        launch_overhead = self.cluster.device(first).launch_overhead_us
+        latencies = []
+        cores = []
+        for work in works_by_rank[first]:
+            op = work.op
+            starts, ends, core_times = [], [], []
+            for group_rank in range(op.group_size):
+                kernel = op.kernel(group_rank)
+                starts.append(kernel.launch_time_us)
+                ends.append(kernel.complete_time_us)
+                core_times.append(kernel.complete_time_us - kernel.launch_time_us)
+            # End to end includes the host-side launch overhead before
+            # residency.
+            latencies.append(max(ends) - min(starts) + launch_overhead)
+            cores.append(statistics.fmean(core_times))
+        return {
+            "algorithm": works_by_rank[first][0].op.algorithm,
+            "latency_us": statistics.fmean(latencies),
+            "core_time_us": statistics.fmean(cores),
+            "preemptions": 0,
+        }
+
+
+register_backend("nccl", NcclCollectiveBackend)

@@ -1,20 +1,20 @@
 """Collective bandwidth / latency experiments (Figs. 7, 8, 9 and the Sec. 2.1 claim).
 
 ``measure_collective`` runs one collective repeatedly on a fresh simulated
-cluster through either backend and reports end-to-end latency, core execution
-time and algorithm bandwidth, mirroring the rewritten NCCL-Tests harness the
-paper uses.
+cluster through any registered ``repro.api`` backend and reports end-to-end
+latency, core execution time and algorithm bandwidth, mirroring the rewritten
+NCCL-Tests harness the paper uses.  Program construction is fully
+backend-agnostic (ProcessGroup + Work futures); metric extraction comes from
+each backend's :meth:`~repro.api.CollectiveBackend.perf_report`.
 """
 
 from __future__ import annotations
 
-import statistics
-
+from repro.api import make_backend
 from repro.common.types import CollectiveKind, CollectiveSpec
-from repro.core import DfcclBackend, DfcclConfig
+from repro.core import DfcclConfig
 from repro.gpusim import HostProgram, build_cluster
-from repro.ncclsim import CudaAwareMpiModel, NcclBackend
-from repro.ncclsim.program import launch_collective, wait_collective
+from repro.ncclsim import CudaAwareMpiModel
 
 #: Buffer sizes swept in Fig. 8 (512 B – 4 MB on one server, up to 16 MB on 32 GPUs).
 FIG8_SIZES_SINGLE = [512 << i for i in range(0, 14)]
@@ -30,9 +30,10 @@ def measure_collective(backend="dfccl", kind="all_reduce", nbytes=1 << 20,
                        chunk_bytes=128 << 10, algorithm="ring"):
     """Measure one collective's end-to-end latency, core time and bandwidth.
 
-    ``algorithm`` is ``"ring"``, ``"tree"`` or ``"auto"`` (topology-aware
-    selection).  Returns a dict with mean values over ``iterations`` timed
-    runs; the ``algorithm`` key reports the resolved algorithm.
+    ``backend`` is any registered ``repro.api`` backend name.  ``algorithm``
+    is ``"ring"``, ``"tree"`` or ``"auto"`` (topology-aware selection).
+    Returns a dict with mean values over ``iterations`` timed runs; the
+    ``algorithm`` key reports the resolved algorithm.
     """
     kind = _kind_from_name(kind)
     count = max(1, nbytes // 4)
@@ -42,98 +43,35 @@ def measure_collective(backend="dfccl", kind="all_reduce", nbytes=1 << 20,
     if world_size > cluster.world_size:
         raise ValueError(f"topology {topology} has only {cluster.world_size} GPUs")
 
-    if backend == "dfccl":
-        return _measure_dfccl(cluster, kind, count, nbytes, ranks, iterations,
-                              chunk_bytes, algorithm)
-    if backend == "nccl":
-        return _measure_nccl(cluster, kind, count, nbytes, ranks, iterations,
-                             chunk_bytes, algorithm)
-    raise ValueError(f"unknown backend {backend!r}")
-
-
-def _measure_dfccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes,
-                   algorithm="ring"):
-    config = DfcclConfig(chunk_bytes=chunk_bytes, algorithm=algorithm)
-    dfccl = DfcclBackend(cluster, config)
-    dfccl.init_all_ranks(ranks)
+    api_backend = make_backend(backend, cluster, chunk_bytes=chunk_bytes,
+                               algorithm=algorithm)
+    group = api_backend.new_group(ranks)
     spec = CollectiveSpec(kind, count)
-    coll = dfccl.register_collective(0, spec, ranks=ranks)
+    group.ensure_collective(spec)
 
-    handles = {rank: [dfccl.submit(rank, 0) for _ in range(iterations)] for rank in ranks}
+    works_by_rank = {}
     programs = []
     for rank in ranks:
+        works = [group.collective(rank, spec) for _ in range(iterations)]
+        works_by_rank[rank] = works
         ops = []
-        for handle in handles[rank]:
-            ops.append(handle.submit_op())
-            ops.append(handle.wait_op())
-        ops.append(dfccl.destroy_op(rank))
+        for work in works:
+            ops.extend(work.ops())
+        ops.extend(api_backend.finalize_ops(rank))
         programs.append(HostProgram(ops))
     cluster.add_hosts(programs)
     cluster.run()
 
-    latencies = []
-    for index in range(iterations):
-        invocation = coll.invocation(index)
-        start = min(invocation.submit_times.values())
-        end = max(invocation.complete_times.values())
-        latencies.append(end - start)
-    stats = dfccl.stats(ranks[0])
-    completed = max(1, stats.cqes_written)
-    core = (stats.execute_time_us + stats.preparing_time_us) / completed
-    latency = statistics.fmean(latencies)
+    report = api_backend.perf_report(group, works_by_rank)
     return {
-        "backend": "dfccl",
+        "backend": api_backend.name,
         "kind": kind.value,
         "nbytes": nbytes,
-        "algorithm": coll.algorithm,
-        "latency_us": latency,
-        "core_time_us": core,
-        "bandwidth_gbps": nbytes / (latency * 1e3),
-        "preemptions": stats.preemptions,
-    }
-
-
-def _measure_nccl(cluster, kind, count, nbytes, ranks, iterations, chunk_bytes,
-                  algorithm="ring"):
-    nccl = NcclBackend(cluster, chunk_bytes=chunk_bytes, algorithm=algorithm)
-    comm = nccl.create_communicator(ranks=ranks)
-    spec = CollectiveSpec(kind, count)
-    ops_by_iter = [comm.collective(index, spec) for index in range(iterations)]
-
-    programs = []
-    for rank in ranks:
-        ops = []
-        for op in ops_by_iter:
-            ops.append(launch_collective(nccl, op, rank))
-            ops.append(wait_collective(op, comm.group_rank(rank)))
-        programs.append(HostProgram(ops))
-    cluster.add_hosts(programs)
-    cluster.run()
-
-    latencies = []
-    cores = []
-    for op in ops_by_iter:
-        starts = []
-        ends = []
-        core_times = []
-        for group_rank in range(len(ranks)):
-            kernel = op.kernel(group_rank)
-            starts.append(kernel.launch_time_us)
-            ends.append(kernel.complete_time_us)
-            core_times.append(kernel.complete_time_us - kernel.launch_time_us)
-        # End to end includes the host-side launch overhead before residency.
-        latencies.append(max(ends) - min(starts) + cluster.device(0).launch_overhead_us)
-        cores.append(statistics.fmean(core_times))
-    latency = statistics.fmean(latencies)
-    return {
-        "backend": "nccl",
-        "kind": kind.value,
-        "nbytes": nbytes,
-        "algorithm": ops_by_iter[0].algorithm,
-        "latency_us": latency,
-        "core_time_us": statistics.fmean(cores),
-        "bandwidth_gbps": nbytes / (latency * 1e3),
-        "preemptions": 0,
+        "algorithm": report["algorithm"],
+        "latency_us": report["latency_us"],
+        "core_time_us": report["core_time_us"],
+        "bandwidth_gbps": nbytes / (report["latency_us"] * 1e3),
+        "preemptions": report["preemptions"],
     }
 
 
@@ -212,18 +150,16 @@ def workload_independent_overheads(world_size=8, topology="single-3090"):
     rows = []
     for variant in ("vanilla", "optimized-ring", "optimized-cas"):
         cluster = build_cluster(topology)
-        config = DfcclConfig(cq_variant=variant)
-        dfccl = DfcclBackend(cluster, config)
+        dfccl = make_backend("dfccl", cluster, config=DfcclConfig(cq_variant=variant))
         ranks = list(range(world_size))
-        dfccl.init_all_ranks(ranks)
-        dfccl.register_all_reduce(0, count=1 << 18, ranks=ranks)
+        group = dfccl.new_group(ranks)
         programs = []
         for rank in ranks:
-            handles = [dfccl.submit(rank, 0) for _ in range(3)]
+            works = [group.all_reduce(rank, count=1 << 18) for _ in range(3)]
             ops = []
-            for handle in handles:
-                ops.extend(handle.ops())
-            ops.append(dfccl.destroy_op(rank))
+            for work in works:
+                ops.extend(work.ops())
+            ops.extend(dfccl.finalize_ops(rank))
             programs.append(HostProgram(ops))
         cluster.add_hosts(programs)
         cluster.run()

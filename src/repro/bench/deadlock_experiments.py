@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
+from repro.api import make_backend, wait_all
 from repro.common.errors import DeadlockError
 from repro.common.rng import DeterministicRNG
-from repro.core import DfcclBackend, DfcclConfig
+from repro.common.types import CollectiveKind, CollectiveSpec
 from repro.deadlock import DeadlockSimulator, TABLE1_CONFIGS
 from repro.gpusim import HostProgram, build_cluster
 from repro.gpusim.host import DeviceSynchronize
-from repro.ncclsim import NcclBackend
-from repro.ncclsim.program import launch_collective, wait_collective
 
 
 # -- Table 1 -----------------------------------------------------------------------------
@@ -96,6 +95,16 @@ def deadlock_sensitivity_sweep(rounds=150, seed=0):
 # -- Sec. 6.1 deadlock-prevention programs ------------------------------------------------------
 
 
+def _sec61_result(api_backend, deadlocked, time_us, **extras):
+    result = {"backend": api_backend.name, "deadlocked": deadlocked,
+              "time_us": time_us, **extras}
+    diagnostics = api_backend.diagnostics()
+    for key in ("preemptions", "voluntary_quits"):
+        if key in diagnostics:
+            result[key] = diagnostics[key]
+    return result
+
+
 def sec61_random_order_program(backend="dfccl", num_gpus=8, num_collectives=8,
                                iterations=5, seed=11, min_bytes=256):
     """First Sec. 6.1 program: same collectives, unique random order per GPU.
@@ -109,46 +118,30 @@ def sec61_random_order_program(backend="dfccl", num_gpus=8, num_collectives=8,
     cluster = build_cluster("single-3090")
     ranks = list(range(num_gpus))
 
-    if backend == "dfccl":
-        dfccl = DfcclBackend(cluster)
-        dfccl.init_all_ranks(ranks)
-        for coll_id, nbytes in enumerate(sizes):
-            dfccl.register_all_reduce(coll_id, count=max(1, nbytes // 4), ranks=ranks)
-        programs = []
-        for rank in ranks:
-            ops = []
-            for _ in range(iterations):
-                order = rng.child("order", rank, _).permutation(num_collectives)
-                handles = [dfccl.submit(rank, coll_id) for coll_id in order]
-                ops.extend(handle.submit_op() for handle in handles)
-                ops.extend(handle.wait_op() for handle in handles)
-            ops.append(dfccl.destroy_op(rank))
-            programs.append(HostProgram(ops))
-        cluster.add_hosts(programs)
-        final_time = cluster.run()
-        preemptions = sum(dfccl.stats(rank).preemptions for rank in ranks)
-        quits = sum(dfccl.stats(rank).voluntary_quits for rank in ranks)
-        return {"backend": "dfccl", "deadlocked": False, "time_us": final_time,
-                "preemptions": preemptions, "voluntary_quits": quits,
-                "iterations": iterations}
-
-    nccl = NcclBackend(cluster)
-    comm = nccl.create_communicator(ranks=ranks)
-    ops_by_id = {coll_id: comm.all_reduce(coll_id, count=max(1, nbytes // 4))
-                 for coll_id, nbytes in enumerate(sizes)}
+    api_backend = make_backend(backend, cluster)
+    group = api_backend.new_group(ranks)
+    counts = {coll_id: max(1, nbytes // 4) for coll_id, nbytes in enumerate(sizes)}
+    for coll_id in range(num_collectives):
+        group.ensure_collective(
+            CollectiveSpec(CollectiveKind.ALL_REDUCE, counts[coll_id]), key=coll_id
+        )
     programs = []
     for rank in ranks:
-        order = rng.child("order", rank, 0).permutation(num_collectives)
-        ops = [launch_collective(nccl, ops_by_id[coll_id], rank) for coll_id in order]
-        ops += [wait_collective(ops_by_id[coll_id], comm.group_rank(rank))
-                for coll_id in order]
+        ops = []
+        for iteration in range(iterations):
+            order = rng.child("order", rank, iteration).permutation(num_collectives)
+            works = [group.all_reduce(rank, counts[coll_id], key=coll_id)
+                     for coll_id in order]
+            ops.extend(work.submit_op() for work in works)
+            ops.extend(wait_all(works))
+        ops.extend(api_backend.finalize_ops(rank))
         programs.append(HostProgram(ops))
     cluster.add_hosts(programs)
     try:
         final_time = cluster.run()
-        return {"backend": "nccl", "deadlocked": False, "time_us": final_time}
     except DeadlockError:
-        return {"backend": "nccl", "deadlocked": True, "time_us": cluster.engine.now}
+        return _sec61_result(api_backend, True, cluster.engine.now)
+    return _sec61_result(api_backend, False, final_time, iterations=iterations)
 
 
 def sec61_sync_program(backend="dfccl", num_gpus=8, num_collectives=4, iterations=3,
@@ -158,47 +151,32 @@ def sec61_sync_program(backend="dfccl", num_gpus=8, num_collectives=4, iteration
     cluster = build_cluster("single-3090")
     ranks = list(range(num_gpus))
 
-    if backend == "dfccl":
-        dfccl = DfcclBackend(cluster)
-        dfccl.init_all_ranks(ranks)
-        for coll_id in range(num_collectives):
-            dfccl.register_all_reduce(coll_id, count=nbytes // 4, ranks=ranks)
-        programs = []
-        for rank in ranks:
-            ops = []
-            for iteration in range(iterations):
-                order = rng.child("order", rank, iteration).permutation(num_collectives)
-                handles = [dfccl.submit(rank, coll_id) for coll_id in order]
-                for handle in handles:
-                    ops.append(handle.submit_op())
-                    ops.append(DeviceSynchronize())
-                ops.extend(handle.wait_op() for handle in handles)
-            ops.append(dfccl.destroy_op(rank))
-            programs.append(HostProgram(ops))
-        cluster.add_hosts(programs)
-        final_time = cluster.run()
-        quits = sum(dfccl.stats(rank).voluntary_quits for rank in ranks)
-        return {"backend": "dfccl", "deadlocked": False, "time_us": final_time,
-                "voluntary_quits": quits}
-
-    nccl = NcclBackend(cluster)
-    comm = nccl.create_communicator(ranks=ranks)
-    ops_by_id = {coll_id: comm.all_reduce(coll_id, count=nbytes // 4)
-                 for coll_id in range(num_collectives)}
+    api_backend = make_backend(backend, cluster)
+    group = api_backend.new_group(ranks)
+    count = max(1, nbytes // 4)
+    for coll_id in range(num_collectives):
+        group.ensure_collective(
+            CollectiveSpec(CollectiveKind.ALL_REDUCE, count), key=coll_id
+        )
     programs = []
     for rank in ranks:
-        order = rng.child("order", rank, 0).permutation(num_collectives)
         ops = []
-        for coll_id in order:
-            ops.append(launch_collective(nccl, ops_by_id[coll_id], rank,
-                                         stream=f"s{coll_id}"))
-            ops.append(DeviceSynchronize())
-        ops += [wait_collective(ops_by_id[coll_id], comm.group_rank(rank))
-                for coll_id in order]
+        for iteration in range(iterations):
+            order = rng.child("order", rank, iteration).permutation(num_collectives)
+            # Per-collective streams: with a device sync between launches the
+            # dedicated-kernel baseline wedges exactly as in the paper.
+            works = [group.all_reduce(rank, count, key=coll_id,
+                                      stream=f"s{coll_id}")
+                     for coll_id in order]
+            for work in works:
+                ops.append(work.submit_op())
+                ops.append(DeviceSynchronize())
+            ops.extend(wait_all(works))
+        ops.extend(api_backend.finalize_ops(rank))
         programs.append(HostProgram(ops))
     cluster.add_hosts(programs)
     try:
         final_time = cluster.run()
-        return {"backend": "nccl", "deadlocked": False, "time_us": final_time}
     except DeadlockError:
-        return {"backend": "nccl", "deadlocked": True, "time_us": cluster.engine.now}
+        return _sec61_result(api_backend, True, cluster.engine.now)
+    return _sec61_result(api_backend, False, final_time)

@@ -79,7 +79,9 @@ def run_multijob(backend="dfccl", policy="packed", topology="dual-3090",
     if trace is not None:
         cluster.engine.trace = trace
     runner_kwargs = {"launch_jitter_us": launch_jitter_us, "seed": seed}
-    if backend == "dfccl" and config is not None:
+    if config is not None:
+        # Forwarded to the backend factory; factories that cannot honour a
+        # DfcclConfig (the dedicated-kernel baseline) accept and ignore it.
         runner_kwargs["config"] = config
     runner = make_job_runner(backend, cluster, **runner_kwargs)
     if specs is None:
@@ -117,16 +119,18 @@ def run_multijob(backend="dfccl", policy="packed", topology="dual-3090",
         "engine_deadlock": engine_deadlock,
         "contention": contention,
     }
-    if backend == "dfccl":
-        result["pool"] = runner.dfccl.pool.stats()
-        manager = runner.dfccl.recovery_manager
-        if manager is not None:
-            result["recoveries"] = manager.stats.recoveries
-            result["recovery_events"] = [
-                {"time_us": event.time_us, "coll_id": event.coll_id,
-                 "job": event.coll_id[0] if isinstance(event.coll_id, tuple) else None}
-                for event in manager.stats.events
-            ]
+    diagnostics = runner.backend.diagnostics()
+    if "pool" in diagnostics:
+        result["pool"] = diagnostics["pool"]
+    recovery = diagnostics.get("recovery")
+    if recovery is not None:
+        result["recoveries"] = recovery["recoveries"]
+        result["recovery_events"] = [
+            {"time_us": event["time_us"], "coll_id": event["coll_id"],
+             "job": (event["coll_id"][0]
+                     if isinstance(event["coll_id"], tuple) else None)}
+            for event in recovery["events"]
+        ]
     return result
 
 

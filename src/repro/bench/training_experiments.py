@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
+from repro.api import make_backend
 from repro.core import DfcclConfig
 from repro.gpusim import build_cluster
-from repro.orchestration import make_orchestrator
 from repro.workloads import (
-    DfcclTrainingBackend,
-    NcclTrainingBackend,
+    GroupTrainingBackend,
     ParallelPlan,
     TrainingRun,
     gpt2_model,
@@ -21,12 +20,13 @@ TRAINING_CHUNK_BYTES = 512 << 10
 
 
 def _dfccl_backend(cluster):
-    return DfcclTrainingBackend(cluster, DfcclConfig(chunk_bytes=TRAINING_CHUNK_BYTES))
+    return GroupTrainingBackend(cluster, "dfccl", chunk_bytes=TRAINING_CHUNK_BYTES)
 
 
 def _nccl_backend(cluster, orchestrator_name, world_size):
-    orchestrator = make_orchestrator(orchestrator_name, world_size=world_size)
-    return NcclTrainingBackend(cluster, orchestrator, chunk_bytes=TRAINING_CHUNK_BYTES)
+    del world_size  # the orchestrator is sized from the plan at prepare time
+    return GroupTrainingBackend(cluster, "nccl", orchestrator=orchestrator_name,
+                                chunk_bytes=TRAINING_CHUNK_BYTES)
 
 
 def _run(plan, backend_factory, topology, iterations, warmup=1):
@@ -76,7 +76,8 @@ def fig11_adaptive_scheduling(num_gpus=4, iterations=3, grad_buckets=16, batch=9
     for policy in ("naive", "adaptive"):
         cluster = build_cluster("single-3090")
         config = DfcclConfig(chunk_bytes=TRAINING_CHUNK_BYTES, spin_policy=policy)
-        backend = DfcclTrainingBackend(cluster, config)
+        backend = GroupTrainingBackend(cluster, make_backend("dfccl", cluster,
+                                                             config=config))
         run = TrainingRun(cluster, plan, backend, iterations=iterations, warmup=1)
         result = run.run()
         per_rank = {}

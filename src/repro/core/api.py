@@ -337,6 +337,7 @@ class DfcclBackend:
         )
         self.contexts = {}
         self._collectives = {}
+        self._next_auto_coll_id = 0
         self.recovery_manager = None
         if self.config.recovery_enabled:
             from repro.core.recovery import RecoveryManager
@@ -415,33 +416,48 @@ class DfcclBackend:
         self.pool.release(coll.communicator)
         return coll
 
+    def allocate_coll_id(self, job=None):
+        """Auto-assign the next unused collective id.
+
+        Under a ``job`` namespace the id is the ``(job, n)`` tuple form the
+        multi-tenant scheduler uses; ids handed out manually are skipped, so
+        auto-assigned and explicit registrations can be mixed freely.
+        """
+        n = self._next_auto_coll_id
+        while True:
+            candidate = n if job is None else (job, n)
+            if candidate not in self._collectives:
+                self._next_auto_coll_id = n + 1
+                return candidate
+            n += 1
+
     def register_all_reduce(self, coll_id, count, ranks=None, dtype=DataType.FLOAT32,
-                            op=ReduceOp.SUM, priority=0):
+                            op=ReduceOp.SUM, priority=0, name=None, job=None):
         spec = CollectiveSpec(CollectiveKind.ALL_REDUCE, count, dtype, op, priority=priority)
-        return self.register_collective(coll_id, spec, ranks, priority)
+        return self.register_collective(coll_id, spec, ranks, priority, name=name, job=job)
 
     def register_all_gather(self, coll_id, count, ranks=None, dtype=DataType.FLOAT32,
-                            priority=0):
+                            priority=0, name=None, job=None):
         spec = CollectiveSpec(CollectiveKind.ALL_GATHER, count, dtype, priority=priority)
-        return self.register_collective(coll_id, spec, ranks, priority)
+        return self.register_collective(coll_id, spec, ranks, priority, name=name, job=job)
 
     def register_reduce_scatter(self, coll_id, count, ranks=None, dtype=DataType.FLOAT32,
-                                op=ReduceOp.SUM, priority=0):
+                                op=ReduceOp.SUM, priority=0, name=None, job=None):
         spec = CollectiveSpec(CollectiveKind.REDUCE_SCATTER, count, dtype, op,
                               priority=priority)
-        return self.register_collective(coll_id, spec, ranks, priority)
+        return self.register_collective(coll_id, spec, ranks, priority, name=name, job=job)
 
     def register_broadcast(self, coll_id, count, ranks=None, dtype=DataType.FLOAT32,
-                           root=0, priority=0):
+                           root=0, priority=0, name=None, job=None):
         spec = CollectiveSpec(CollectiveKind.BROADCAST, count, dtype, root=root,
                               priority=priority)
-        return self.register_collective(coll_id, spec, ranks, priority)
+        return self.register_collective(coll_id, spec, ranks, priority, name=name, job=job)
 
     def register_reduce(self, coll_id, count, ranks=None, dtype=DataType.FLOAT32,
-                        op=ReduceOp.SUM, root=0, priority=0):
+                        op=ReduceOp.SUM, root=0, priority=0, name=None, job=None):
         spec = CollectiveSpec(CollectiveKind.REDUCE, count, dtype, op, root=root,
                               priority=priority)
-        return self.register_collective(coll_id, spec, ranks, priority)
+        return self.register_collective(coll_id, spec, ranks, priority, name=name, job=job)
 
     # -- invocation (dfccl_run_*) ----------------------------------------------------------------
 
@@ -473,3 +489,70 @@ class DfcclBackend:
     def memory_overhead_report(self, num_collectives=None):
         count = num_collectives if num_collectives is not None else len(self._collectives)
         return memory_overhead_report(self.config, count)
+
+
+# -- deprecated paper-literal shims -------------------------------------------------
+#
+# The Listing-1 names (``dfcclInit`` / ``dfcclRegister*`` / ``dfcclRun*`` /
+# ``dfcclDestroy``) predate the unified :mod:`repro.api` front-end.  They are
+# kept as thin delegating shims so paper-era scripts keep running, but every
+# call emits a :class:`DeprecationWarning`; new code should go through
+# ``repro.api.make_backend(...)`` and :class:`~repro.api.ProcessGroup`.
+
+
+def _deprecated(old, new):
+    import warnings
+
+    warnings.warn(
+        f"{old} is deprecated; use {new} from repro.api instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def dfccl_init(backend, global_rank):
+    """Deprecated ``dfcclInit``: create the rank context for one GPU."""
+    _deprecated("dfccl_init", "make_backend('dfccl', cluster).new_group(...)")
+    return backend.init_rank(global_rank)
+
+
+def dfccl_register_all_reduce(backend, coll_id, count, ranks=None, **kwargs):
+    """Deprecated ``dfcclRegisterAllReduce``."""
+    _deprecated("dfccl_register_all_reduce", "ProcessGroup.all_reduce")
+    return backend.register_all_reduce(coll_id, count, ranks, **kwargs)
+
+
+def dfccl_register_all_gather(backend, coll_id, count, ranks=None, **kwargs):
+    """Deprecated ``dfcclRegisterAllGather``."""
+    _deprecated("dfccl_register_all_gather", "ProcessGroup.all_gather")
+    return backend.register_all_gather(coll_id, count, ranks, **kwargs)
+
+
+def dfccl_register_reduce_scatter(backend, coll_id, count, ranks=None, **kwargs):
+    """Deprecated ``dfcclRegisterReduceScatter``."""
+    _deprecated("dfccl_register_reduce_scatter", "ProcessGroup.reduce_scatter")
+    return backend.register_reduce_scatter(coll_id, count, ranks, **kwargs)
+
+
+def dfccl_register_broadcast(backend, coll_id, count, ranks=None, **kwargs):
+    """Deprecated ``dfcclRegisterBroadcast``."""
+    _deprecated("dfccl_register_broadcast", "ProcessGroup.broadcast")
+    return backend.register_broadcast(coll_id, count, ranks, **kwargs)
+
+
+def dfccl_register_reduce(backend, coll_id, count, ranks=None, **kwargs):
+    """Deprecated ``dfcclRegisterReduce``."""
+    _deprecated("dfccl_register_reduce", "ProcessGroup.reduce")
+    return backend.register_reduce(coll_id, count, ranks, **kwargs)
+
+
+def dfccl_run(backend, global_rank, coll_id, callback=None):
+    """Deprecated ``dfcclRun*``: submit one invocation, returning its handle."""
+    _deprecated("dfccl_run", "ProcessGroup collective calls returning Work futures")
+    return backend.submit(global_rank, coll_id, callback=callback)
+
+
+def dfccl_destroy(backend, global_rank):
+    """Deprecated ``dfcclDestroy``: host op tearing the rank context down."""
+    _deprecated("dfccl_destroy", "CollectiveBackend.finalize_ops")
+    return backend.destroy_op(global_rank)

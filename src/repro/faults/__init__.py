@@ -23,6 +23,7 @@ from repro.faults.scenarios import (
     ChaosResult,
     chaos_rank_crash_comparison,
     contribution_values,
+    run_chaos,
     run_dfccl_chaos,
     run_nccl_chaos,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "chaos_rank_crash_comparison",
     "contribution_values",
     "install_fault_plan",
+    "run_chaos",
     "run_dfccl_chaos",
     "run_nccl_chaos",
 ]

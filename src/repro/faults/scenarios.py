@@ -1,8 +1,9 @@
-"""Chaos scenarios: both backends driven through the same fault plan.
+"""Chaos scenarios: every backend driven through the same fault plan.
 
-Every runner builds a fresh cluster, installs a :class:`FaultInjector` for the
-given plan, runs the same collective workload through DFCCL or the NCCL-style
-baseline, and reports what survived:
+One runner, :func:`run_chaos`, builds a fresh cluster, obtains the requested
+backend from the ``repro.api`` registry, installs a :class:`FaultInjector`
+for the given plan and drives the same ProcessGroup workload — there is no
+per-backend program construction left.  What survives differs by backend:
 
 * the baseline's dedicated kernels block unboundedly on dead peers, so a rank
   crash turns into an engine-level deadlock whose wait-for cycle
@@ -10,22 +11,25 @@ baseline, and reports what survived:
 * DFCCL's daemon kernels preempt instead of blocking, the recovery manager
   detects the crash via CQE timeout, shrinks the group, and the surviving
   ranks complete every remaining collective — with byte-identical reduction
-  results, which the scenario checks through per-rank reduction fingerprints
-  computed independently in each rank's completion callback.
+  results, checked through per-rank reduction fingerprints recomputed from
+  each work's :meth:`~repro.api.Work.completion_info` member set.
+
+:func:`run_dfccl_chaos` and :func:`run_nccl_chaos` remain as thin
+parameterizations of :func:`run_chaos`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import make_backend, wait_all
 from repro.common.rng import DeterministicRNG
-from repro.core import DfcclBackend, DfcclConfig
+from repro.core import DfcclConfig
+from repro.common.types import CollectiveKind, CollectiveSpec
 from repro.deadlock.fault_scenarios import analyze_fault_deadlock
 from repro.faults.injector import install_fault_plan
 from repro.faults.plan import FaultPlan
 from repro.gpusim import HostProgram, build_cluster
-from repro.ncclsim import NcclBackend
-from repro.ncclsim.program import launch_collective, wait_collective
 
 #: Default virtual-time deadline: a run not finished by then is stuck.
 DEFAULT_DEADLINE_US = 120_000.0
@@ -62,7 +66,7 @@ class ChaosResult:
 
         Returns ``{(coll_id, index): {rank: (signature, reduced_sum)}}``.
         Ranks sharing a signature (same recovery generation and participant
-        set) must hold byte-identical sums; a survivor whose callback fired
+        set) must hold byte-identical sums; a survivor whose part completed
         *before* a crash legitimately keeps the pre-crash full-group result,
         which the signature's generation field makes distinguishable.
         """
@@ -98,173 +102,79 @@ def _survivors(ranks, plan):
     return tuple(rank for rank in ranks if rank not in crashed)
 
 
-# -- DFCCL under chaos ---------------------------------------------------------------
+# -- the backend-agnostic runner -------------------------------------------------------
 
 
-def run_dfccl_chaos(plan, topology="dual-3090-nvlink", world_size=16,
-                    num_collectives=3, nbytes=1 << 20, iterations=2,
-                    config=None, recovery=True, deadline_us=DEFAULT_DEADLINE_US,
-                    seed=17):
-    """Run a DFCCL all-reduce workload with ``plan`` injected.
+def run_chaos(backend, plan, topology="dual-3090-nvlink", world_size=16,
+              num_collectives=3, nbytes=1 << 20, iterations=2,
+              deadline_us=DEFAULT_DEADLINE_US, seed=17, label=None, **knobs):
+    """Run the shared all-reduce chaos workload through any registered backend.
 
-    Each surviving rank's completion callback independently recomputes the
-    reduction over the invocation's participant set, so the result records
-    double as byte-identical-reduction checks.
+    ``knobs`` go to :func:`repro.api.make_backend` (e.g. ``config=`` for
+    DFCCL recovery settings).  Each completed work's reduction is recomputed
+    from the member set its rank *actually* communicated over
+    (:meth:`~repro.api.Work.completion_info`), so the result records double
+    as byte-identical-reduction checks on every backend.
     """
     cluster = build_cluster(topology, deadlock_mode="record")
-    base = config or DfcclConfig()
-    backend = DfcclBackend(cluster, base.with_overrides(recovery_enabled=recovery))
-    ranks = list(range(world_size))
     if world_size > cluster.world_size:
         raise ValueError(f"topology {topology} has only {cluster.world_size} GPUs")
-    backend.init_all_ranks(ranks)
+    ranks = list(range(world_size))
+    api_backend = make_backend(backend, cluster, **knobs)
+    group = api_backend.new_group(ranks)
+    count = max(1, nbytes // 4)
+    spec = CollectiveSpec(CollectiveKind.ALL_REDUCE, count)
+    # Declare in key order so backend-side id assignment stays deterministic.
     for coll_id in range(num_collectives):
-        backend.register_all_reduce(coll_id, count=max(1, nbytes // 4), ranks=ranks)
+        group.ensure_collective(spec, key=coll_id)
 
     injector = install_fault_plan(cluster, plan)
     contributions = contribution_values(ranks, seed)
-    completions = {rank: [] for rank in ranks}
 
-    def make_callback(global_rank):
-        def callback(invocation):
-            group_rank = invocation.coll.global_ranks.index(global_rank)
-            # The signature this rank's GPU part actually completed under —
-            # a survivor that finished before a crash keeps the pre-crash
-            # full-group identity even though its callback fires later.
-            signature = invocation.completion_signatures.get(
-                group_rank, invocation.participant_signature()
-            )
-            # The reduction is recomputed from the member set of the
-            # communicator this rank *actually* communicated over — per-rank
-            # ground truth, so a rank left running a stale pre-recovery
-            # executor would report a different sum than its signature group.
-            executor = invocation.executor_if_cached(group_rank)
-            if executor is not None:
-                members = [cluster.rank_of(device)
-                           for device in executor.communicator.devices]
-            else:
-                members = [invocation.coll.global_ranks[rank]
-                           for rank in signature[1]]
-            completions[global_rank].append({
-                "coll_id": invocation.coll_id,
-                "index": invocation.index,
-                "signature": signature,
-                "reduced": sum(contributions[rank] for rank in members),
-                "time_us": invocation.complete_times.get(group_rank),
-            })
-        return callback
-
+    works_by_rank = {rank: [] for rank in ranks}
     programs = []
     for rank in ranks:
         ops = []
         for _ in range(iterations):
-            handles = [backend.submit(rank, coll_id, callback=make_callback(rank))
-                       for coll_id in range(num_collectives)]
-            ops.extend(handle.submit_op() for handle in handles)
-            ops.extend(handle.wait_op() for handle in handles)
-        ops.append(backend.destroy_op(rank))
+            works = [group.all_reduce(rank, count, key=coll_id)
+                     for coll_id in range(num_collectives)]
+            works_by_rank[rank].extend(works)
+            ops.extend(work.submit_op() for work in works)
+            ops.extend(wait_all(works))
+        ops.extend(api_backend.finalize_ops(rank))
         programs.append(HostProgram(ops))
     cluster.add_hosts(programs)
 
     final_time = cluster.run(until_us=deadline_us)
+
+    completions = {rank: [] for rank in ranks}
+    for rank, works in works_by_rank.items():
+        for work in works:
+            if not work.done:
+                continue
+            info = work.completion_info()
+            completions[rank].append({
+                "coll_id": work.key,
+                "index": work.index,
+                "signature": info.signature,
+                "reduced": sum(contributions[member]
+                               for member in info.member_ranks),
+                "time_us": info.time_us,
+            })
 
     survivors = _survivors(ranks, plan)
     expected = num_collectives * iterations
-    done = all(len(completions[rank]) >= expected for rank in survivors)
-    manager = backend.recovery_manager
-    recovery_summary = {}
-    if manager is not None:
-        stats = manager.stats
-        recovery_summary = {
-            "recoveries": stats.recoveries,
-            "invocations_rerun": stats.invocations_rerun,
-            "suspected_stragglers": stats.suspected_stragglers,
-            "abandoned": stats.abandoned,
-            "events": [
-                {
-                    "time_us": event.time_us,
-                    "coll_id": event.coll_id,
-                    "failed_ranks": event.failed_ranks,
-                    "survivor_ranks": event.survivor_ranks,
-                    "detection_latency_us": event.detection_latency_us,
-                    "generation": event.generation,
-                }
-                for event in stats.events
-            ],
-        }
-    result = ChaosResult(
-        backend="dfccl" if recovery else "dfccl-no-recovery",
-        plan=plan.describe(),
-        outcome="completed" if done else "stuck",
-        time_us=final_time,
-        crashed_ranks=tuple(plan.crash_ranks()),
-        survivor_ranks=survivors,
-        expected_per_survivor=expected,
-        completions=completions,
-        recovery=recovery_summary,
-        injected=list(injector.applied),
-    )
-    result.daemon_stats = backend.all_stats()
-    return result
-
-
-# -- NCCL baseline under chaos ----------------------------------------------------------
-
-
-def run_nccl_chaos(plan, topology="dual-3090-nvlink", world_size=16,
-                   num_collectives=3, nbytes=1 << 20, iterations=2,
-                   deadline_us=DEFAULT_DEADLINE_US):
-    """Run the same workload through the dedicated-kernel baseline."""
-    cluster = build_cluster(topology, deadlock_mode="record")
-    nccl = NcclBackend(cluster)
-    ranks = list(range(world_size))
-    if world_size > cluster.world_size:
-        raise ValueError(f"topology {topology} has only {cluster.world_size} GPUs")
-    comm = nccl.create_communicator(ranks=ranks)
-    count = max(1, nbytes // 4)
-    ops_by_iter = [
-        [comm.all_reduce(iteration * num_collectives + coll_id, count)
-         for coll_id in range(num_collectives)]
-        for iteration in range(iterations)
-    ]
-
-    injector = install_fault_plan(cluster, plan)
-
-    programs = []
-    for rank in ranks:
-        ops = []
-        for iteration_ops in ops_by_iter:
-            for op in iteration_ops:
-                ops.append(launch_collective(nccl, op, rank))
-            for op in iteration_ops:
-                ops.append(wait_collective(op, comm.group_rank(rank)))
-        programs.append(HostProgram(ops))
-    cluster.add_hosts(programs)
-
-    final_time = cluster.run(until_us=deadline_us)
     report = cluster.engine.deadlock_report
-    analysis = analyze_fault_deadlock(report, cluster)
-
-    completions = {
-        rank: [
-            {"coll_id": op.op_id, "index": 0,
-             "signature": (0, tuple(sorted(range(op.group_size)))),
-             "reduced": None}
-            for iteration_ops in ops_by_iter for op in iteration_ops
-            if op.is_complete(comm.group_rank(rank))
-        ]
-        for rank in ranks
-    }
-    survivors = _survivors(ranks, plan)
-    expected = num_collectives * iterations
     if report is not None:
         outcome = "deadlock"
     elif all(len(completions[rank]) >= expected for rank in survivors):
         outcome = "completed"
     else:
         outcome = "stuck"
-    return ChaosResult(
-        backend="nccl",
+
+    diagnostics = api_backend.diagnostics()
+    result = ChaosResult(
+        backend=label or api_backend.name,
         plan=plan.describe(),
         outcome=outcome,
         time_us=final_time,
@@ -272,9 +182,38 @@ def run_nccl_chaos(plan, topology="dual-3090-nvlink", world_size=16,
         survivor_ranks=survivors,
         expected_per_survivor=expected,
         completions=completions,
-        analysis=analysis,
+        recovery=diagnostics.get("recovery", {}),
+        analysis=analyze_fault_deadlock(report, cluster),
         injected=list(injector.applied),
     )
+    if "daemon_stats" in diagnostics:
+        result.daemon_stats = diagnostics["daemon_stats"]
+    return result
+
+
+# -- backend parameterizations ---------------------------------------------------------
+
+
+def run_dfccl_chaos(plan, topology="dual-3090-nvlink", world_size=16,
+                    num_collectives=3, nbytes=1 << 20, iterations=2,
+                    config=None, recovery=True, deadline_us=DEFAULT_DEADLINE_US,
+                    seed=17):
+    """Run the chaos workload through DFCCL (optionally without recovery)."""
+    base = config or DfcclConfig()
+    return run_chaos(
+        "dfccl", plan, topology, world_size, num_collectives, nbytes, iterations,
+        deadline_us=deadline_us, seed=seed,
+        label="dfccl" if recovery else "dfccl-no-recovery",
+        config=base.with_overrides(recovery_enabled=recovery),
+    )
+
+
+def run_nccl_chaos(plan, topology="dual-3090-nvlink", world_size=16,
+                   num_collectives=3, nbytes=1 << 20, iterations=2,
+                   deadline_us=DEFAULT_DEADLINE_US, seed=17):
+    """Run the same workload through the dedicated-kernel baseline."""
+    return run_chaos("nccl", plan, topology, world_size, num_collectives,
+                     nbytes, iterations, deadline_us=deadline_us, seed=seed)
 
 
 # -- the headline comparison -----------------------------------------------------------
@@ -294,7 +233,7 @@ def chaos_rank_crash_comparison(topology="dual-3090-nvlink", world_size=16,
     victim = crash_rank if crash_rank is not None else world_size // 2
     plan = FaultPlan(name="rank-crash-mid-allreduce").add_crash(victim, crash_at_us)
     nccl = run_nccl_chaos(plan, topology, world_size, num_collectives, nbytes,
-                          iterations, deadline_us=deadline_us)
+                          iterations, deadline_us=deadline_us, seed=seed)
     dfccl = run_dfccl_chaos(plan, topology, world_size, num_collectives, nbytes,
                             iterations, config=config, recovery=True,
                             deadline_us=deadline_us, seed=seed)

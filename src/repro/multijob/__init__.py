@@ -34,17 +34,21 @@ from repro.multijob.placement import (
     make_placement_policy,
 )
 from repro.multijob.runtime import (
+    ClusterJobRunner,
     DfcclJobRunner,
-    JobRunner,
     NcclJobRunner,
     RankMappedPlan,
     make_job_runner,
 )
+
+#: Deprecated alias kept for source compatibility with pre-``repro.api`` code.
+JobRunner = ClusterJobRunner
 from repro.multijob.scheduler import ClusterScheduler, install_scheduler
 
 __all__ = [
     "MODEL_FACTORIES",
     "PLACEMENT_POLICIES",
+    "ClusterJobRunner",
     "ClusterScheduler",
     "DeviceLease",
     "DfcclJobRunner",

@@ -5,31 +5,33 @@ plan is *rank-mapped*: the job plans in its own local rank space (0..n-1) and
 a :class:`RankMappedPlan` view translates every schedule onto the leased
 global ranks, which need not be contiguous.
 
-Two runner families mirror the paper's comparison:
+One :class:`ClusterJobRunner` serves every backend through ``repro.api``:
+the runner holds a single shared :class:`~repro.api.CollectiveBackend` and
+hands each placed job a :meth:`~repro.api.CollectiveBackend.job_view` of it.
+What that means is backend-defined, mirroring the paper's comparison:
 
-* :class:`DfcclJobRunner` shares ONE :class:`~repro.core.DfcclBackend` across
-  all jobs — one daemon kernel per GPU serves every co-located tenant, with
-  collective ids namespaced by job and communicators pooled per
+* under ``"dfccl"`` one daemon kernel per GPU serves every co-located
+  tenant, with collective ids namespaced by job and communicators pooled per
   ``(job, device set)``;
-* :class:`NcclJobRunner` gives each job dedicated per-collective kernels on
-  per-job streams.  Co-located jobs' dedicated kernels contend for SM block
-  slots, which is what lets the baseline deadlock *across* jobs.
+* under ``"nccl"`` each job launches dedicated per-collective kernels on
+  per-job streams (plus its CPU orchestrator).  Co-located jobs' dedicated
+  kernels contend for SM block slots, which is what lets the baseline
+  deadlock *across* jobs.
 
-Both apply a small seeded per-rank *launch jitter* modelling dataloader and
-framework skew between rank processes — the disorder that interleaves
-co-located jobs' kernel launches differently on different GPUs.
+Every runner applies a small seeded per-rank *launch jitter* modelling
+dataloader and framework skew between rank processes — the disorder that
+interleaves co-located jobs' kernel launches differently on different GPUs.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 
+from repro.api import CollectiveBackend, make_backend
 from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRNG
-from repro.core import DfcclBackend
-from repro.ncclsim import NcclBackend
-from repro.orchestration.megatron_manual import MegatronManualOrchestrator
-from repro.workloads.backends import DfcclTrainingBackend, NcclTrainingBackend
+from repro.workloads.backends import GroupTrainingBackend
 from repro.workloads.parallelism import CollectiveItem, ComputeItem
 from repro.workloads.trainer import TrainingRun
 
@@ -123,19 +125,41 @@ class _JitteredPlan:
         return schedule
 
 
-class JobRunner:
-    """Base: builds and installs one placed job's host programs."""
+class ClusterJobRunner:
+    """Builds and installs placed jobs' host programs over one shared backend.
 
-    backend_flavor = "base"
+    ``backend`` is a registered ``repro.api`` backend name (extra ``knobs``
+    go to :func:`make_backend`) or an already-built
+    :class:`~repro.api.CollectiveBackend`.  ``orchestrator_factory``
+    optionally maps a :class:`JobSpec` to the CPU orchestrator its training
+    loop charges; by default each job view's backend decides (DFCCL: none,
+    NCCL: Megatron-style manual orchestration).
+    """
 
-    def __init__(self, cluster, launch_jitter_us=25.0, seed=0):
+    def __init__(self, cluster, backend="dfccl", launch_jitter_us=25.0, seed=0,
+                 orchestrator_factory=None, **knobs):
         self.cluster = cluster
+        self.backend = (make_backend(backend, cluster, **knobs)
+                        if not isinstance(backend, CollectiveBackend) else backend)
+        self.backend_flavor = self.backend.name
         self.launch_jitter_us = launch_jitter_us
         self.seed = seed
+        self.orchestrator_factory = orchestrator_factory
         self.runs = {}
 
+    def __getattr__(self, attribute):
+        # Legacy accessors (``runner.dfccl`` / ``runner.nccl``) resolve to
+        # the adapter's underlying engine.
+        backend = self.__dict__.get("backend")
+        if backend is None:
+            raise AttributeError(attribute)
+        return getattr(backend, attribute)
+
     def _training_backend(self, record):
-        raise NotImplementedError
+        view = self.backend.job_view(record.spec.job_id)
+        orchestrator = ("auto" if self.orchestrator_factory is None
+                        else self.orchestrator_factory(record.spec))
+        return GroupTrainingBackend(self.cluster, view, orchestrator=orchestrator)
 
     def launch(self, record, time_us, on_rank_complete):
         """Install the job's rank processes; returns the TrainingRun."""
@@ -152,8 +176,19 @@ class JobRunner:
         return run
 
     def release(self, record):
-        """Tear down the finished job's backend state (default: nothing)."""
-        return 0
+        """Tear down the finished job's backend state.
+
+        Unregisters the job's collectives and then drops its backend-side
+        namespace (under DFCCL: the pool entries keyed by the unique job id,
+        which no later tenant can ever reuse), keeping the shared backend
+        bounded over a long churn stream.
+        """
+        run = self.runs.get(record.job_id)
+        if run is None:
+            return 0
+        released = run.backend.unregister_all()
+        self.backend.release_job(record.spec.job_id)
+        return released
 
     def collect(self, record, total_time_us):
         """Fill ``record.result`` once the simulation stopped."""
@@ -164,62 +199,31 @@ class JobRunner:
         return record.result
 
 
-class DfcclJobRunner(JobRunner):
-    """All jobs share one DFCCL backend: one daemon kernel per GPU."""
-
-    backend_flavor = "dfccl"
+class DfcclJobRunner(ClusterJobRunner):
+    """Deprecated: use ``ClusterJobRunner(cluster, "dfccl", ...)``."""
 
     def __init__(self, cluster, config=None, launch_jitter_us=25.0, seed=0):
-        super().__init__(cluster, launch_jitter_us, seed)
-        self.dfccl = DfcclBackend(cluster, config)
-
-    def _training_backend(self, record):
-        return DfcclTrainingBackend(
-            self.cluster, dfccl=self.dfccl, namespace=record.spec.job_id
+        warnings.warn(
+            "DfcclJobRunner is deprecated; use ClusterJobRunner(cluster, 'dfccl')",
+            DeprecationWarning, stacklevel=2,
         )
-
-    def release(self, record):
-        """Tear down the finished job's backend state.
-
-        Unregisters the job's collectives and then evicts its pool
-        namespace: a departed tenant's communicators can never be reused
-        (pool keys carry the unique job id), so dropping them keeps the
-        shared backend bounded over a long churn stream.
-        """
-        run = self.runs.get(record.job_id)
-        if run is None:
-            return 0
-        released = run.backend.unregister_all()
-        self.dfccl.pool.evict_job(record.spec.job_id)
-        return released
+        super().__init__(cluster, "dfccl", launch_jitter_us, seed, config=config)
 
 
-class NcclJobRunner(JobRunner):
-    """Each job drives dedicated NCCL kernels (plus a CPU orchestrator)."""
-
-    backend_flavor = "nccl"
+class NcclJobRunner(ClusterJobRunner):
+    """Deprecated: use ``ClusterJobRunner(cluster, "nccl", ...)``."""
 
     def __init__(self, cluster, chunk_bytes=None, launch_jitter_us=25.0, seed=0,
                  orchestrator_factory=None):
-        super().__init__(cluster, launch_jitter_us, seed)
-        self.nccl = NcclBackend(cluster, chunk_bytes=chunk_bytes)
-        self.orchestrator_factory = orchestrator_factory or (
-            lambda spec: MegatronManualOrchestrator(world_size=spec.world_size)
+        warnings.warn(
+            "NcclJobRunner is deprecated; use ClusterJobRunner(cluster, 'nccl')",
+            DeprecationWarning, stacklevel=2,
         )
-
-    def _training_backend(self, record):
-        return NcclTrainingBackend(
-            self.cluster,
-            self.orchestrator_factory(record.spec),
-            nccl=self.nccl,
-            tenant=record.spec.job_id,
-        )
+        super().__init__(cluster, "nccl", launch_jitter_us, seed,
+                         orchestrator_factory=orchestrator_factory,
+                         chunk_bytes=chunk_bytes)
 
 
 def make_job_runner(flavor, cluster, **kwargs):
-    """Factory: ``"dfccl"`` or ``"nccl"``."""
-    if flavor == "dfccl":
-        return DfcclJobRunner(cluster, **kwargs)
-    if flavor == "nccl":
-        return NcclJobRunner(cluster, **kwargs)
-    raise ConfigurationError(f"unknown job runner flavor {flavor!r}")
+    """Factory: any registered ``repro.api`` backend name."""
+    return ClusterJobRunner(cluster, flavor, **kwargs)

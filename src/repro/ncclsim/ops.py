@@ -50,6 +50,7 @@ class NcclCollectiveOp:
         )
         self._complete_ranks = {}
         self._kernels = {}
+        self._completion_callbacks = {}
         _ops_by_id[self.op_id] = self
 
     @property
@@ -84,12 +85,23 @@ class NcclCollectiveOp:
     def global_completion_key(self):
         return ("nccl-op-done-all", self.op_id)
 
+    def add_completion_callback(self, group_rank, fn):
+        """Run ``fn()`` when ``group_rank``'s part of the op completes.
+
+        This is the dedicated-kernel analogue of DFCCL's per-invocation
+        callbacks, letting the unified ``repro.api`` Work future offer the
+        same completion-notification surface over both backends.
+        """
+        self._completion_callbacks.setdefault(group_rank, []).append(fn)
+
     def mark_rank_complete(self, group_rank, time_us, engine=None):
         if group_rank in self._complete_ranks:
             raise InvalidStateError(
                 f"rank {group_rank} completed op {self.op_id} twice"
             )
         self._complete_ranks[group_rank] = time_us
+        for fn in self._completion_callbacks.get(group_rank, ()):
+            fn()
         if engine is not None:
             engine.signal(self.completion_key(group_rank), time_us)
             if self.fully_complete():

@@ -19,13 +19,18 @@ from repro.workloads.models import (
     vit_model,
 )
 from repro.workloads.parallelism import CollectiveItem, ComputeItem, ParallelPlan
-from repro.workloads.backends import DfcclTrainingBackend, NcclTrainingBackend
+from repro.workloads.backends import (
+    DfcclTrainingBackend,
+    GroupTrainingBackend,
+    NcclTrainingBackend,
+)
 from repro.workloads.trainer import TrainingResult, TrainingRun
 
 __all__ = [
     "CollectiveItem",
     "ComputeItem",
     "DfcclTrainingBackend",
+    "GroupTrainingBackend",
     "LayerSpec",
     "ModelSpec",
     "NcclTrainingBackend",

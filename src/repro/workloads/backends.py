@@ -1,152 +1,99 @@
-"""Training backends: DFCCL, and NCCL under a CPU-orchestration baseline.
+"""The backend-agnostic training backend.
 
-A training backend turns one rank's iteration schedule (compute phases and
-collective items) into host ops for the simulated rank process.  The DFCCL
-backend registers every distinct collective once and then just submits
-invocations — in whatever order the schedule produces them.  The NCCL backend
-launches one dedicated kernel per collective call and charges the coordination
-overhead of the selected orchestration baseline.
+:class:`GroupTrainingBackend` turns one rank's iteration schedule (compute
+phases and collective items) into host ops for the simulated rank process by
+driving any :class:`repro.api.CollectiveBackend` through one
+:class:`~repro.api.ProcessGroup` per collective group.  Every distinct
+schedule collective becomes one logical group collective (keyed by the
+schedule item key); repeated iterations become successive invocations, so the
+same codepath covers DFCCL's register-once/submit-many flow and the NCCL
+baseline's kernel-per-call flow.
+
+Backends that need CPU-side coordination to be safe (the dedicated-kernel
+baseline) contribute an *orchestrator* via
+:meth:`~repro.api.CollectiveBackend.orchestrator_for`; its negotiated order
+and per-step delays are charged exactly as the paper's baselines do.  DFCCL
+contributes none — deadlock freedom is the backend's job.
+
+The pre-``repro.api`` classes ``DfcclTrainingBackend`` and
+``NcclTrainingBackend`` remain as thin deprecated shims.
 """
 
 from __future__ import annotations
 
-from repro.common.errors import ConfigurationError, InvalidStateError
-from repro.core import DfcclBackend
+import warnings
+
+from repro.api import make_backend
+from repro.api.backend import resolve_orchestrator
+from repro.api.dfccl_adapter import DfcclCollectiveBackend
+from repro.api.nccl_adapter import NcclCollectiveBackend
+from repro.common.errors import ConfigurationError
 from repro.gpusim.host import CpuCompute
-from repro.ncclsim import NcclBackend
-from repro.ncclsim.program import launch_collective, wait_collective
 from repro.workloads.parallelism import CollectiveItem, ComputeItem
 
 
-class DfcclTrainingBackend:
-    """Drive training collectives through DFCCL.
+class GroupTrainingBackend:
+    """Drive training collectives through any ``repro.api`` backend.
 
-    By default the backend owns a private :class:`DfcclBackend`.  Under the
-    multi-tenant scheduler every job passes the *shared* ``dfccl`` instance
-    (one daemon kernel per GPU serves all co-located jobs) plus a
-    ``namespace`` — its job id — which prefixes collective ids and namespaces
-    the communicator pool, so concurrent jobs never collide on either.
+    ``backend`` is a :class:`~repro.api.CollectiveBackend` instance or a
+    registered backend name (extra ``knobs`` go to :func:`make_backend`).
+    ``orchestrator`` is ``"auto"`` (ask the backend), ``None`` (no CPU
+    coordination), an orchestrator name, or an instance.
+
+    ``shuffle_submissions`` randomizes the completion-wait order per
+    iteration (with ``rng``), modelling frameworks that consume collective
+    results out of order.
     """
 
-    name = "dfccl"
-
-    def __init__(self, cluster, config=None, shuffle_submissions=False, rng=None,
-                 dfccl=None, namespace=None):
+    def __init__(self, cluster, backend="dfccl", orchestrator="auto",
+                 shuffle_submissions=False, rng=None, **knobs):
         self.cluster = cluster
-        self.dfccl = dfccl if dfccl is not None else DfcclBackend(cluster, config)
-        #: Whether finalize should destroy the rank contexts: only when this
-        #: backend created them — a shared backend outlives any one job.
-        self.owns_backend = dfccl is None
-        self.namespace = namespace
+        self.backend = (make_backend(backend, cluster, **knobs)
+                        if isinstance(backend, str) else backend)
+        self._orchestrator_spec = orchestrator
+        self.orchestrator = None
         self.shuffle_submissions = shuffle_submissions
         self.rng = rng
-        self._coll_ids = {}
-        self._next_coll_id = 0
-
-    def _full_coll_id(self, local_id):
-        return local_id if self.namespace is None else (self.namespace, local_id)
-
-    def prepare(self, plan):
-        """Register every distinct collective of the plan exactly once."""
-        ranks = list(plan.ranks())
-        self.dfccl.init_all_ranks(ranks)
-        for key, item in sorted(plan.unique_collectives().items(), key=lambda kv: kv[0]):
-            coll_id = self._full_coll_id(self._next_coll_id)
-            self._next_coll_id += 1
-            self._coll_ids[key] = coll_id
-            self.dfccl.register_collective(
-                coll_id,
-                _spec_for(item),
-                ranks=list(item.group_ranks),
-                priority=item.priority,
-                name=f"{item.kind.value}:{key}",
-                job=self.namespace,
-            )
-
-    def coll_id(self, key):
-        return self._coll_ids[key]
-
-    def iteration_ops(self, rank, schedule, iteration):
-        """Host ops executing one iteration of ``schedule`` on ``rank``."""
-        ops = []
-        handles = []
-        collective_items = [item for item in schedule if isinstance(item, CollectiveItem)]
-        submit_order = {item.key: index for index, item in enumerate(collective_items)}
-        if self.shuffle_submissions and self.rng is not None:
-            shuffled = self.rng.child("iter", iteration, rank).shuffle(list(collective_items))
-            submit_order = {item.key: index for index, item in enumerate(shuffled)}
-        for item in schedule:
-            if isinstance(item, ComputeItem):
-                ops.append(CpuCompute(item.duration_us, item.label))
-            elif isinstance(item, CollectiveItem):
-                handle = self.dfccl.submit(rank, self._coll_ids[item.key])
-                handles.append((submit_order[item.key], handle))
-                ops.append(handle.submit_op())
-            else:  # pragma: no cover - defensive
-                raise ConfigurationError(f"unknown schedule item {item!r}")
-        for _, handle in sorted(handles, key=lambda pair: pair[0]):
-            ops.append(handle.wait_op())
-        return ops
-
-    def finalize_ops(self, rank):
-        if not self.owns_backend:
-            # The shared backend's rank contexts serve other jobs; the
-            # daemon kernels quit voluntarily once every job drained.
-            return []
-        return [self.dfccl.destroy_op(rank)]
-
-    def unregister_all(self):
-        """Unregister every collective this backend registered (job teardown).
-
-        Recycles the job's communicators into the shared pool.  Collectives
-        with an invocation still in flight (e.g. abandoned by recovery) are
-        left registered; returns the number actually unregistered.
-        """
-        released = 0
-        for coll_id in list(self._coll_ids.values()):
-            try:
-                self.dfccl.unregister_collective(coll_id)
-            except (ConfigurationError, InvalidStateError):
-                continue
-            released += 1
-        return released
-
-    def stats(self, rank):
-        return self.dfccl.stats(rank)
-
-
-class NcclTrainingBackend:
-    """Drive training collectives through NCCL plus a CPU-orchestration baseline.
-
-    ``tenant`` tags this job's dedicated kernels for the multi-tenant SM
-    accounting and gives the job its own device streams, modelling separate
-    rank processes sharing a GPU.
-    """
-
-    def __init__(self, cluster, orchestrator, chunk_bytes=None, nccl=None,
-                 tenant=None):
-        self.cluster = cluster
-        self.orchestrator = orchestrator
-        self.nccl = nccl if nccl is not None else NcclBackend(cluster, chunk_bytes=chunk_bytes)
-        self.tenant = tenant
-        self.stream = "comm" if tenant is None else f"comm-{tenant}"
-        self._comms = {}
+        self._groups = {}
         self._decisions = {}
         self._plan = None
 
     @property
     def name(self):
-        return f"nccl+{self.orchestrator.name}"
+        if self.orchestrator is None:
+            return self.backend.name
+        return f"{self.backend.name}+{self.orchestrator.name}"
+
+    # -- preparation ------------------------------------------------------------
+
+    def _resolve_orchestrator(self, world_size):
+        spec = self._orchestrator_spec
+        if spec == "auto":
+            return self.backend.orchestrator_for(world_size)
+        return resolve_orchestrator(spec, world_size)
+
+    def _group_for(self, group_ranks):
+        group = self._groups.get(group_ranks)
+        if group is None:
+            group = self.backend.new_group(list(group_ranks))
+            self._groups[group_ranks] = group
+        return group
 
     def prepare(self, plan):
-        self._plan = plan
+        """Declare every distinct collective of the plan exactly once.
 
-    def _comm_for(self, group_ranks):
-        comm = self._comms.get(group_ranks)
-        if comm is None:
-            comm = self.nccl.create_communicator(ranks=list(group_ranks))
-            self._comms[group_ranks] = comm
-        return comm
+        Declaration order is the sorted schedule-key order, which keeps
+        backend-side id assignment (and hence communicator acquisition)
+        deterministic across runs.
+        """
+        self._plan = plan
+        self.orchestrator = self._resolve_orchestrator(plan.world_size)
+        for key, item in sorted(plan.unique_collectives().items(), key=lambda kv: kv[0]):
+            self._group_for(item.group_ranks).ensure_collective(
+                _spec_for(item), key=key
+            )
+
+    # -- per-iteration program construction ----------------------------------------
 
     def _decision(self, iteration):
         decision = self._decisions.get(iteration)
@@ -160,39 +107,108 @@ class NcclTrainingBackend:
         return decision
 
     def iteration_ops(self, rank, schedule, iteration):
-        decision = self._decision(iteration)
+        """Host ops executing one iteration of ``schedule`` on ``rank``."""
         ops = []
-        startup_delay = decision.per_step_delay_us
-        if iteration == 0:
-            startup_delay += decision.one_time_delay_us
-        if startup_delay > 0:
-            ops.append(CpuCompute(startup_delay, f"{self.orchestrator.name}-coordination"))
+        decision = None
+        if self.orchestrator is not None:
+            decision = self._decision(iteration)
+            startup_delay = decision.per_step_delay_us
+            if iteration == 0:
+                startup_delay += decision.one_time_delay_us
+            if startup_delay > 0:
+                ops.append(CpuCompute(startup_delay,
+                                      f"{self.orchestrator.name}-coordination"))
 
-        waits = []
+        collective_items = [item for item in schedule if isinstance(item, CollectiveItem)]
+        submit_order = {item.key: index for index, item in enumerate(collective_items)}
+        if self.shuffle_submissions and self.rng is not None:
+            shuffled = self.rng.child("iter", iteration, rank).shuffle(list(collective_items))
+            submit_order = {item.key: index for index, item in enumerate(shuffled)}
+
+        works = []
         for item in schedule:
             if isinstance(item, ComputeItem):
                 ops.append(CpuCompute(item.duration_us, item.label))
             elif isinstance(item, CollectiveItem):
-                if decision.per_collective_delay_us > 0:
+                if decision is not None and decision.per_collective_delay_us > 0:
                     ops.append(CpuCompute(decision.per_collective_delay_us,
                                           f"{self.orchestrator.name}-negotiate"))
-                comm = self._comm_for(item.group_ranks)
-                op = comm.collective((item.key, iteration), _spec_for(item))
-                group_rank = item.group_ranks.index(rank)
-                ops.append(launch_collective(self.nccl, op, rank,
-                                             stream=self.stream, tenant=self.tenant))
-                waits.append((op, group_rank))
+                group = self._group_for(item.group_ranks)
+                work = group.collective(rank, _spec_for(item), key=item.key)
+                works.append((submit_order[item.key], work))
+                ops.append(work.submit_op())
             else:  # pragma: no cover - defensive
                 raise ConfigurationError(f"unknown schedule item {item!r}")
-        for op, group_rank in waits:
-            ops.append(wait_collective(op, group_rank))
+        for _, work in sorted(works, key=lambda pair: pair[0]):
+            ops.append(work.wait_op())
         return ops
 
+    # -- lifecycle ------------------------------------------------------------------
+
     def finalize_ops(self, rank):
-        return []
+        return self.backend.finalize_ops(rank)
+
+    def unregister_all(self):
+        """Unregister every collective this backend declared (job teardown)."""
+        return self.backend.unregister_all()
 
     def stats(self, rank):
-        return None
+        return self.backend.stats(rank)
+
+
+# -- deprecated per-backend shims ---------------------------------------------------
+
+
+class DfcclTrainingBackend(GroupTrainingBackend):
+    """Deprecated: DFCCL-specific trainer (use :class:`GroupTrainingBackend`)."""
+
+    def __init__(self, cluster, config=None, shuffle_submissions=False, rng=None,
+                 dfccl=None, namespace=None):
+        warnings.warn(
+            "DfcclTrainingBackend is deprecated; use GroupTrainingBackend with "
+            "repro.api.make_backend('dfccl', cluster, ...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        adapter = DfcclCollectiveBackend(cluster, config=config, dfccl=dfccl,
+                                         job=namespace)
+        super().__init__(cluster, adapter, orchestrator=None,
+                         shuffle_submissions=shuffle_submissions, rng=rng)
+
+    @property
+    def dfccl(self):
+        return self.backend.dfccl
+
+    @property
+    def namespace(self):
+        return self.backend.job
+
+    @property
+    def owns_backend(self):
+        return self.backend.owns_backend
+
+
+class NcclTrainingBackend(GroupTrainingBackend):
+    """Deprecated: NCCL-specific trainer (use :class:`GroupTrainingBackend`)."""
+
+    def __init__(self, cluster, orchestrator, chunk_bytes=None, nccl=None,
+                 tenant=None):
+        warnings.warn(
+            "NcclTrainingBackend is deprecated; use GroupTrainingBackend with "
+            "repro.api.make_backend('nccl', cluster, orchestrator=...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        adapter = NcclCollectiveBackend(cluster, chunk_bytes=chunk_bytes,
+                                        nccl=nccl, tenant=tenant,
+                                        orchestrator=orchestrator)
+        super().__init__(cluster, adapter, orchestrator=orchestrator)
+
+    @property
+    def nccl(self):
+        return self.backend.nccl
+
+    @property
+    def tenant(self):
+        return self.backend.tenant
 
 
 def _spec_for(item):
