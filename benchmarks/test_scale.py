@@ -1,0 +1,81 @@
+"""Engine-scale suite: steps/sec ladder up to a 512-rank two-level fat-tree.
+
+Runs the :mod:`repro.bench.scale_experiments` sweep, writes the rows to
+``BENCH_scale.json`` (archived by the CI scale-smoke job) and gates two
+properties of this PR's engine overhaul:
+
+* the 64-rank ring point runs at least 3x the steps/sec of the pre-overhaul
+  engine recorded in :data:`repro.bench.PRE_PR_BASELINE` (machine-normalized
+  through the calibration loop);
+* a 512-rank all-reduce on a two-level fat-tree completes outright.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    PRE_PR_BASELINE,
+    machine_calibration_factor,
+    run_scale_point,
+    scale_sweep,
+    speedup_vs_pre_pr,
+    write_scale_report,
+)
+
+pytestmark = pytest.mark.timeout(900)
+
+SCALE_REPORT_PATH = os.environ.get("BENCH_SCALE_PATH", "BENCH_scale.json")
+
+
+def test_scale_sweep_writes_report(benchmark):
+    """The full ladder completes and lands in BENCH_scale.json."""
+
+    report = benchmark.pedantic(
+        lambda: write_scale_report(SCALE_REPORT_PATH, repeats=3),
+        iterations=1, rounds=1,
+    )
+    ranks = [row["ranks"] for row in report["points"]]
+    print("\nscale sweep:",
+          [(row["ranks"], row["algorithm"], round(row["steps_per_sec"]))
+           for row in report["points"]])
+    assert ranks == [16, 64, 128, 256, 512]
+    assert all(row["completed"] for row in report["points"])
+    # Sanity on the artifact: parse it back and find the 64-rank speedup.
+    with open(SCALE_REPORT_PATH, encoding="utf-8") as fh:
+        written = json.load(fh)
+    sixty_four = [row for row in written["points"] if row["ranks"] == 64][0]
+    assert sixty_four["speedup_vs_pre_pr"] >= 3.0
+
+
+def test_64_rank_speedup_over_pre_pr_engine():
+    """The overhauled engine is >=3x the recorded pre-PR 64-rank throughput."""
+    calibration = machine_calibration_factor()
+    best = max(
+        (run_scale_point(64, topology="flat", algorithm="ring")
+         for _ in range(5)),
+        key=lambda row: row["steps_per_sec"],
+    )
+    speedup = speedup_vs_pre_pr(best, calibration)
+    print(f"\n64-rank: {best['steps_per_sec']:.0f} steps/s vs pre-PR "
+          f"{PRE_PR_BASELINE['steps_per_sec']:.0f} -> "
+          f"normalized speedup {speedup:.2f}x")
+    assert best["completed"]
+    assert speedup >= 3.0
+
+
+def test_512_rank_fat_tree_all_reduce_completes():
+    """512 ranks over a two-level fat-tree: the headline scale point."""
+    row = run_scale_point(512, topology="fat-tree", algorithm="tree",
+                          iterations=1)
+    print(f"\n512-rank: wall {row['wall_s']:.2f}s, "
+          f"{row['steps_per_sec']:.0f} steps/s, "
+          f"vtime {row['virtual_time_us']:.0f}us")
+    assert row["completed"]
+    assert row["virtual_time_us"] > 0
+    # The indexed event queue stays dense even at this scale (the engine's
+    # compaction invariant: stale entries never exceed half the queue beyond
+    # the small-queue threshold).
+    stats = row["queue_stats"]
+    assert stats["stale"] <= max(64, stats["entries"] // 2)

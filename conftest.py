@@ -2,12 +2,54 @@
 
 Ensures the ``src`` layout is importable even when the package has not been
 installed (useful in offline environments where ``pip install -e .`` cannot
-build an editable wheel).
+build an editable wheel), and enforces global-RNG isolation: simulation code
+must draw every random number from a seeded
+:class:`repro.common.rng.DeterministicRNG` (or a local ``random.Random``),
+never from the module-level ``random`` functions whose hidden shared state
+makes runs order-dependent and flaky.  A test that consumes the global stream
+without restoring it fails loudly instead of silently flaking a later test.
 """
 
 import os
+import random
 import sys
+
+import pytest
 
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+#: Fixed session seed: anything that *does* escape to the global RNG at import
+#: time is at least reproducible run to run.
+_SESSION_SEED = 0xDFCC1
+
+
+def pytest_sessionstart(session):
+    random.seed(_SESSION_SEED)
+
+
+@pytest.fixture(autouse=True)
+def _global_rng_isolation(request):
+    """Fail tests that consume the global ``random`` stream.
+
+    Seeded randomness belongs in ``DeterministicRNG`` / ``random.Random``
+    instances; the global stream is shared, order-dependent state.  Tests
+    with a legitimate need (e.g. exercising third-party code that uses the
+    module-level functions) opt out with ``@pytest.mark.uses_global_rng`` —
+    state is still restored afterwards so they cannot leak entropy into
+    later tests.  (Hypothesis manages and restores the global state itself,
+    so property tests pass this check untouched.)
+    """
+    state = random.getstate()
+    yield
+    mutated = random.getstate() != state
+    if mutated:
+        random.setstate(state)
+        if request.node.get_closest_marker("uses_global_rng") is None:
+            pytest.fail(
+                "test consumed the global `random` module RNG without "
+                "isolation: seed a repro.common.rng.DeterministicRNG or a "
+                "local random.Random instead (or mark the test with "
+                "@pytest.mark.uses_global_rng)."
+            )

@@ -42,6 +42,10 @@ class DfcclWork(Work):
         return self.handle.done
 
     @property
+    def aborted(self):
+        return self.handle.aborted
+
+    @property
     def started_at_us(self):
         return self.invocation.submit_times.get(self.handle.group_rank)
 

@@ -68,6 +68,16 @@ class Work:
         """True once this rank's part of the invocation completed."""
         raise NotImplementedError
 
+    @property
+    def aborted(self):
+        """True when the backend resolved this part without completing it.
+
+        Only elastic backends abort (DFCCL's recovery abandons a collective
+        it cannot re-form — e.g. a rooted collective whose root died — and
+        wakes the waiters); backends without recovery never do.
+        """
+        return False
+
     def completion_info(self):
         """A :class:`CompletionInfo` once complete, else ``None``."""
         raise NotImplementedError

@@ -32,6 +32,14 @@ from repro.bench.multijob_experiments import (
     multijob_under_churn,
     run_multijob,
 )
+from repro.bench.scale_experiments import (
+    PRE_PR_BASELINE,
+    machine_calibration_factor,
+    run_scale_point,
+    scale_sweep,
+    speedup_vs_pre_pr,
+    write_scale_report,
+)
 from repro.bench.training_experiments import (
     fig10_resnet50_dp,
     fig11_adaptive_scheduling,
@@ -41,6 +49,12 @@ from repro.bench.training_experiments import (
 
 __all__ = [
     "CHAOS_PLANS",
+    "PRE_PR_BASELINE",
+    "machine_calibration_factor",
+    "run_scale_point",
+    "scale_sweep",
+    "speedup_vs_pre_pr",
+    "write_scale_report",
     "deadlock_ratio_sweep",
     "deadlock_sensitivity_sweep",
     "goodput_under_chaos",

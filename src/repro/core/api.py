@@ -41,6 +41,17 @@ class InvocationHandle:
         return self.invocation.is_done(self.group_rank)
 
     @property
+    def aborted(self):
+        """True when recovery abandoned the collective and aborted this part.
+
+        An aborted wait returns without a completion — the analogue of a
+        communicator abort: the application learns the collective cannot
+        finish (e.g. a rooted collective whose root died) instead of
+        spinning forever.
+        """
+        return self.invocation.is_aborted(self.group_rank)
+
+    @property
     def completion_key(self):
         return self.invocation.completion_key(self.group_rank)
 
@@ -52,10 +63,11 @@ class InvocationHandle:
         )
 
     def wait_op(self):
-        """Host op that waits until this rank's callback has fired."""
+        """Host op that waits until this rank's callback fired (or the
+        collective was abandoned and this part aborted)."""
         return WaitForSignal(
             self.completion_key,
-            predicate=lambda: self.done,
+            predicate=lambda: self.done or self.aborted,
             detail=f"wait coll {self.invocation.coll_id} inv {self.invocation.index}",
         )
 
@@ -159,6 +171,15 @@ class RankContext:
         invocation.set_callback(handle.group_rank, handle.callback)
         invocation.mark_submitted(handle.group_rank, time_us)
         coll = invocation.coll
+        if coll.abandoned:
+            # Submitting into an abandoned collective aborts immediately: the
+            # daemon would only drop the entry later, and the group can never
+            # re-form (recovery already decided the root's data is gone or
+            # the recovery budget is spent).
+            invocation.mark_aborted(handle.group_rank)
+            self.cluster.engine.signal(
+                invocation.completion_key(handle.group_rank), time_us)
+            return
         self.sq.push(
             Sqe(
                 coll_id=coll.coll_id,
@@ -287,6 +308,24 @@ class RankContext:
             communicator = invocation.take_rerun_communicator()
             if communicator is not None and communicator is not invocation.coll.communicator:
                 self.backend.pool.release(communicator)
+
+    def abort_invocation(self, invocation, time_us):
+        """Resolve this rank's part of an abandoned collective without a
+        completion: accounting is released and any blocked waiter woken.
+
+        Idempotent; a part that already completed keeps its completion.
+        """
+        group_rank = self.group_rank_for(invocation.coll)
+        if not invocation.mark_aborted(group_rank):
+            return False
+        if group_rank in invocation.submitted_ranks():
+            # The submit charged an outstanding slot that no CQE will ever
+            # release.
+            self.outstanding -= 1
+            self._inflight.pop(invocation, None)
+        self.cluster.engine.signal(
+            invocation.completion_key(group_rank), time_us)
+        return True
 
     def deliver_completion(self, cqe, clock):
         """Run the callback bound to a completed collective (poller side)."""

@@ -153,19 +153,38 @@ class RecoveryManager(Actor):
             if failed_ranks:
                 self._recover_collective(coll, failed_ranks, now)
 
+    def _abandon(self, coll, now):
+        """Abandon a collective that cannot be re-formed.
+
+        Every surviving rank's unfinished part is abort-resolved: waiters
+        blocked on the completion are woken (the wait returns ``aborted``),
+        outstanding accounting is released, and daemon task entries are
+        dropped lazily by the daemon's own abandoned-entry check.  Without
+        this, survivors of e.g. a broadcast whose root died would wait for
+        data that can never arrive — the hang the differential fuzzer's
+        fault programs caught.
+        """
+        coll.abandoned = True
+        self.stats.abandoned += 1
+        for invocation in coll.invocations:
+            for rank in sorted(invocation.expected_ranks()):
+                if coll.devices[rank].failed:
+                    continue
+                ctx = self.backend.contexts.get(coll.global_ranks[rank])
+                if ctx is not None:
+                    ctx.abort_invocation(invocation, now)
+
     def _recover_collective(self, coll, failed_ranks, now):
         if coll.abandoned:
             return
         if coll.rooted and coll.spec.root in failed_ranks:
             # The root's data died with its device; a rooted collective
             # cannot be re-formed from the survivors.
-            coll.abandoned = True
             coll.communicator.invalidate()
-            self.stats.abandoned += 1
+            self._abandon(coll, now)
             return
         if coll.generation >= self.config.max_recoveries_per_collective:
-            coll.abandoned = True
-            self.stats.abandoned += 1
+            self._abandon(coll, now)
             return
         detection_latency = now - max(
             coll.devices[rank].fail_time_us
@@ -176,8 +195,7 @@ class RecoveryManager(Actor):
         coll.communicator.invalidate()
         survivors = coll.shrink(failed_ranks, self.backend.pool)
         if not survivors:
-            coll.abandoned = True
-            self.stats.abandoned += 1
+            self._abandon(coll, now)
             return
 
         # Dedicated communicators from earlier recoveries are superseded
@@ -203,8 +221,7 @@ class RecoveryManager(Actor):
                 # sequence; its sends cannot be replayed, so the unfinished
                 # survivors can never complete this invocation.  Abandon
                 # before re-forming anything.
-                coll.abandoned = True
-                self.stats.abandoned += 1
+                self._abandon(coll, now)
                 return
             rerun_sets.append((invocation, rerun))
 

@@ -196,6 +196,9 @@ class Invocation:
         self._submitted_ranks = set()
         self._gpu_complete_ranks = set()
         self._callback_fired_ranks = set()
+        #: Ranks whose part was aborted (their collective was abandoned by
+        #: recovery): the wait resolves without a completion.
+        self._aborted_ranks = set()
         self.submit_times = {}
         self.complete_times = {}
         self.context_switches = {}
@@ -306,6 +309,25 @@ class Invocation:
     def is_done(self, group_rank):
         """True once the rank's callback has run (the user-visible completion)."""
         return group_rank in self._callback_fired_ranks
+
+    def mark_aborted(self, group_rank):
+        """Abort this rank's part (its collective was abandoned).
+
+        No-op (returns ``False``) for a part that already completed or was
+        already aborted; a completed part keeps its completion.
+        """
+        if (group_rank in self._gpu_complete_ranks
+                or group_rank in self._aborted_ranks):
+            return False
+        self._aborted_ranks.add(group_rank)
+        return True
+
+    def is_aborted(self, group_rank):
+        return group_rank in self._aborted_ranks
+
+    def is_resolved(self, group_rank):
+        """Done or aborted: the rank's wait can return either way."""
+        return self.is_done(group_rank) or group_rank in self._aborted_ranks
 
     def expected_ranks(self):
         """Group ranks whose completion this invocation waits for."""

@@ -47,9 +47,13 @@ class TaskEntry:
         self.spin_quantum = 500
 
     def boost_spin(self, factor, ceiling):
-        boosted = min(int(self.spin_threshold * factor), int(ceiling))
-        self.spin_threshold = max(self.spin_threshold, boosted)
-        self.spin_remaining = self.spin_threshold
+        threshold = self.spin_threshold
+        if threshold < ceiling:
+            # Saturates after a couple of successes; skip the arithmetic then.
+            boosted = min(int(threshold * factor), int(ceiling))
+            if boosted > threshold:
+                self.spin_threshold = threshold = boosted
+        self.spin_remaining = threshold
 
 
 class TaskQueue:
@@ -159,6 +163,7 @@ class AdaptiveSpinPolicy:
         self.position_decay = position_decay
         self.minimum = minimum
         self.boost = boost
+        self._ceiling = initial * boost
 
     def initial_for_position(self, position):
         threshold = self.initial * (self.position_decay ** position)
@@ -169,7 +174,7 @@ class AdaptiveSpinPolicy:
             entry.reset_spin(self.initial_for_position(position))
 
     def on_success(self, entry):
-        entry.boost_spin(self.boost, self.initial * self.boost)
+        entry.boost_spin(self.boost, self._ceiling)
 
 
 def make_ordering_policy(config):

@@ -17,7 +17,14 @@ also performs deadlock detection over the wait-for graph.
 
 from repro.gpusim.engine import Actor, Engine, StepResult, StepStatus
 from repro.gpusim.device import GpuDevice, KernelActor, SmInterferenceModel
-from repro.gpusim.cluster import Cluster, ClusterSpec, NodeSpec, build_cluster
+from repro.gpusim.cluster import (
+    Cluster,
+    ClusterSpec,
+    NodeSpec,
+    build_cluster,
+    fat_tree_spec,
+    multi_node_spec,
+)
 from repro.gpusim.host import HostProgram, HostThread
 from repro.gpusim.interconnect import Interconnect, LinkSpec, TopologySpec
 from repro.gpusim.memory import MemoryAccountant, PinnedHostAllocator
@@ -43,4 +50,6 @@ __all__ = [
     "Stream",
     "TopologySpec",
     "build_cluster",
+    "fat_tree_spec",
+    "multi_node_spec",
 ]

@@ -93,6 +93,50 @@ def fat_tree_32gpu_spec(oversubscription=2.0):
     return spec
 
 
+def multi_node_spec(num_gpus, gpus_per_node=8, gpu_memory_bytes=24 << 30,
+                    name_prefix="3090-server"):
+    """A homogeneous N-GPU cluster built from identical servers."""
+    if num_gpus < 1:
+        raise ConfigurationError(f"a cluster needs at least 1 GPU, got {num_gpus}")
+    if gpus_per_node < 1 or num_gpus % gpus_per_node:
+        raise ConfigurationError(
+            f"num_gpus {num_gpus} must be a positive multiple of "
+            f"gpus_per_node {gpus_per_node}"
+        )
+    return ClusterSpec(nodes=[
+        NodeSpec(f"{name_prefix}-{i}", gpus_per_node, gpu_memory_bytes)
+        for i in range(num_gpus // gpus_per_node)
+    ])
+
+
+def fat_tree_spec(num_gpus, gpus_per_node=8, nodes_per_pod=4,
+                  oversubscription=2.0, spine_oversubscription=2.0,
+                  nvlink_domain_size=0):
+    """An N-GPU cluster behind a (possibly two-level) RDMA fat-tree.
+
+    Nodes are grouped ``nodes_per_pod`` per leaf switch; with more than one
+    pod the spec becomes a genuine two-level fat-tree whose cross-pod traffic
+    pays the spine's extra hop and oversubscription.  NVLink stays disabled
+    by default, matching every other testbed (only ``dual-3090-nvlink`` has
+    islands), so scaling sweeps across ``fat-tree-<N>`` points vary only the
+    fabric size — pass ``nvlink_domain_size=4`` for NVLink-equipped nodes.
+    This is the batched construction path used to instantiate the
+    256/512-rank scale testbeds: one spec, one engine, devices registered in
+    a single batch.
+    """
+    spec = multi_node_spec(num_gpus, gpus_per_node)
+    num_nodes = len(spec.nodes)
+    two_level = nodes_per_pod > 0 and num_nodes > nodes_per_pod
+    spec.topology = TopologySpec(
+        pix_group_size=spec.pix_group_size,
+        nvlink_domain_size=nvlink_domain_size,
+        rdma_oversubscription=oversubscription,
+        nodes_per_pod=nodes_per_pod if two_level else 0,
+        spine_oversubscription=spine_oversubscription if two_level else 1.0,
+    )
+    return spec
+
+
 class Cluster:
     """A simulated multi-node GPU cluster plus its event engine."""
 
@@ -123,9 +167,11 @@ class Cluster:
                     memory=GpuMemoryModel(global_bytes=node.gpu_memory_bytes),
                     interference=interference,
                 )
-                self.engine.add_actor(device)
                 self.devices.append(device)
                 self._devices_by_id[device_id] = device
+        # Batch registration: a 512-rank fat-tree registers every device in
+        # one heapify instead of one sift-up per GPU.
+        self.engine.add_actors(self.devices)
 
     # -- lookups --------------------------------------------------------------
 
@@ -211,8 +257,10 @@ def build_cluster(
     """Build one of the named paper testbeds.
 
     ``topology`` is one of ``single-3090``, ``single-3080ti``, ``dual-3090``,
-    ``dual-3090-nvlink``, ``mixed-32``, ``fat-tree-32``; alternatively pass a
-    :class:`ClusterSpec` directly.
+    ``dual-3090-nvlink``, ``mixed-32``, ``fat-tree-32``, or the generic
+    ``fat-tree-<N>`` for any multiple of eight GPUs (``fat-tree-64`` …
+    ``fat-tree-512``; more than four nodes become a two-level fat-tree with
+    four-node pods); alternatively pass a :class:`ClusterSpec` directly.
     """
     if isinstance(topology, ClusterSpec):
         spec = topology
@@ -228,6 +276,11 @@ def build_cluster(
         spec = mixed_32gpu_spec()
     elif topology == "fat-tree-32":
         spec = fat_tree_32gpu_spec()
+    elif isinstance(topology, str) and topology.startswith("fat-tree-"):
+        suffix = topology[len("fat-tree-"):]
+        if not suffix.isdigit():
+            raise ConfigurationError(f"unknown cluster topology {topology!r}")
+        spec = fat_tree_spec(int(suffix))
     else:
         raise ConfigurationError(f"unknown cluster topology {topology!r}")
     engine = Engine(deadlock_mode=deadlock_mode, max_steps=max_steps)

@@ -23,6 +23,16 @@ When every live actor is blocked and none is sleeping, no signal can ever
 arrive: the system is deadlocked.  The engine then either raises
 :class:`DeadlockError` or records the deadlock and terminates, depending on
 ``deadlock_mode``.
+
+Scheduling lives in ONE indexed event queue.  Every schedulable actor has at
+most one live heap entry — ``(time, kind, seq, actor)`` where *kind* orders
+sleepers before ready actors on time ties, exactly the order the old
+ready/sleeping double heap produced by eagerly waking due sleepers.
+Rescheduling or killing an actor invalidates its entry in place (the actor
+slot is cleared) instead of leaving the old entry to be lazily skipped; when
+stale entries outnumber live ones the heap is compacted, so cancelled or
+killed actors can never make the queue grow without bound (fuzzing at
+hundreds of ranks pops millions of entries — the queue must stay dense).
 """
 
 from __future__ import annotations
@@ -30,10 +40,24 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.common.errors import DeadlockError, SimulationError
 from repro.common.vtime import VirtualClock
+
+#: Entry kinds in the unified event queue.  Sleepers sort before ready actors
+#: at equal times: the old scheduler woke every due sleeper (converting it to
+#: a ready entry with a fresh sequence number) before stepping ready actors.
+_KIND_SLEEP = 0
+_KIND_READY = 1
+
+#: Index of the actor slot inside a queue entry (cleared when invalidated).
+_ENTRY_ACTOR = 3
+
+#: Compaction threshold: never compact below this many stale entries (tiny
+#: queues churn entries constantly and rebuilds would dominate).
+_COMPACT_MIN_STALE = 64
 
 
 class StepStatus(enum.Enum):
@@ -124,6 +148,9 @@ class DeadlockReport:
 class Engine:
     """Smallest-local-clock-first scheduler over a set of actors."""
 
+    #: How many recent signal keys to retain for debugging.
+    SIGNAL_LOG_LIMIT = 4096
+
     def __init__(self, deadlock_mode="raise", max_steps=50_000_000, trace=None):
         if deadlock_mode not in ("raise", "record"):
             raise ValueError(f"unknown deadlock_mode {deadlock_mode!r}")
@@ -131,36 +158,119 @@ class Engine:
         self.max_steps = max_steps
         self.trace = trace
         self._actors = []
-        self._ready = []
-        self._sleeping = []
+        #: The unified event queue: a heap of ``[time, kind, seq, actor]``
+        #: entries.  ``self._entries`` maps each schedulable actor to its one
+        #: live entry; invalidation clears the entry's actor slot.
+        self._queue = []
+        self._entries = {}
+        self._stale = 0
+        self._compactions = 0
+        self._ready_count = 0
+        self._live_worker_count = 0
         self._blocked = {}
         self._waiters = {}
+        #: Public read-only alias of the waiter table, keyed by wait key.
+        #: Hot paths (the primitive executor signals once or twice per
+        #: primitive) test ``key in engine.waiters_by_key`` before paying the
+        #: ``signal()`` call — a signal nobody waits on is a no-op.  The
+        #: engine only ever mutates this dict in place, never rebinds it, so
+        #: the alias stays valid for the engine's lifetime; external code
+        #: must treat it as read-only.
+        self.waiters_by_key = self._waiters
         self._counter = itertools.count()
         self._steps = 0
         self._horizon = 0.0
         self.deadlock_report = None
-        self._signal_log = []
+        self._signal_log = deque(maxlen=self.SIGNAL_LOG_LIMIT)
 
     # -- registration -------------------------------------------------------
 
-    def add_actor(self, actor):
-        """Register an actor and make it runnable."""
+    def _register(self, actor):
+        """Shared registration bookkeeping of the add_actor/add_actors paths."""
         self._actors.append(actor)
         actor.on_registered(self)
+        if not actor.daemon and not actor.finished:
+            self._live_worker_count += 1
         self._observe_time(actor.now)
-        self._push_ready(actor)
+
+    def add_actor(self, actor):
+        """Register an actor and make it runnable."""
+        self._register(actor)
+        self._schedule(actor, actor.now, _KIND_READY)
         return actor
+
+    def add_actors(self, actors):
+        """Batch-register many actors (one heapify instead of N sift-ups).
+
+        Used by cluster construction: instantiating a 512-rank fat-tree
+        registers hundreds of devices at once, and pushing them one by one is
+        both slower and noisier in profiles than a single heapify.
+        """
+        actors = list(actors)
+        for actor in actors:
+            self._register(actor)
+            # Same invariant as _schedule — one live entry per actor — with
+            # the heap push deferred to the single heapify below.
+            old = self._entries.get(actor)
+            if old is not None:
+                self._invalidate(old)
+            entry = [actor.now, _KIND_READY, next(self._counter), actor]
+            self._entries[actor] = entry
+            self._queue.append(entry)
+            self._ready_count += 1
+        heapq.heapify(self._queue)
+        return actors
 
     def actors(self):
         return list(self._actors)
 
-    # -- ready queue helpers -------------------------------------------------
+    # -- event queue helpers -------------------------------------------------
 
-    def _push_ready(self, actor):
-        heapq.heappush(self._ready, (actor.now, next(self._counter), actor))
+    def _schedule(self, actor, time_us, kind):
+        """Give ``actor`` a (new) live queue entry, invalidating any old one."""
+        old = self._entries.get(actor)
+        if old is not None:
+            self._invalidate(old)
+        entry = [time_us, kind, next(self._counter), actor]
+        self._entries[actor] = entry
+        heapq.heappush(self._queue, entry)
+        if kind == _KIND_READY:
+            self._ready_count += 1
 
-    def _push_sleeping(self, actor, wake_at):
-        heapq.heappush(self._sleeping, (wake_at, next(self._counter), actor))
+    def _invalidate(self, entry):
+        """Mark a queue entry stale in place; compact when stale dominates."""
+        if entry[_ENTRY_ACTOR] is None:
+            return
+        if entry[1] == _KIND_READY:
+            self._ready_count -= 1
+        entry[_ENTRY_ACTOR] = None
+        self._stale += 1
+        if self._stale > _COMPACT_MIN_STALE and self._stale * 2 > len(self._queue):
+            self._compact()
+
+    def _discard_entry(self, actor):
+        """Invalidate the live entry of ``actor``, if any."""
+        entry = self._entries.pop(actor, None)
+        if entry is not None:
+            self._invalidate(entry)
+
+    def _compact(self):
+        """Rebuild the heap from live entries only."""
+        self._queue = [entry for entry in self._queue
+                       if entry[_ENTRY_ACTOR] is not None]
+        heapq.heapify(self._queue)
+        self._stale = 0
+        self._compactions += 1
+
+    def queue_stats(self):
+        """Event-queue health counters (introspection / regression tests)."""
+        return {
+            "entries": len(self._queue),
+            "live": len(self._queue) - self._stale,
+            "stale": self._stale,
+            "compactions": self._compactions,
+            "ready": self._ready_count,
+        }
 
     def _observe_time(self, time_us):
         """Keep the cached global horizon in sync with an observed clock."""
@@ -181,7 +291,8 @@ class Engine:
         true; woken actors have their clocks advanced to at least that time,
         modelling the spin-wait they performed while blocked.
         """
-        self._signal_log.append(key)
+        if self.trace is not None:
+            self._signal_log.append(key)
         waiters = self._waiters.pop(key, None)
         if not waiters:
             return 0
@@ -200,7 +311,7 @@ class Engine:
             if time_us is not None:
                 actor.clock.advance_to(time_us)
                 self._observe_time(actor.now)
-            self._push_ready(actor)
+            self._schedule(actor, actor.now, _KIND_READY)
             woken += 1
         return woken
 
@@ -214,16 +325,19 @@ class Engine:
     def kill_actor(self, actor, time_us=None):
         """Remove an actor from scheduling immediately (fault injection).
 
-        The actor is marked finished and unhooked from every wait key; stale
-        ready/sleep heap entries are skipped lazily.  Unlike a normal DONE
-        step, the actor gets no chance to clean up — this models a crash.
+        The actor is marked finished, unhooked from every wait key and its
+        queue entry is invalidated on the spot.  Unlike a normal DONE step,
+        the actor gets no chance to clean up — this models a crash.
         """
         if actor.finished:
             return False
         actor.finished = True
+        if not actor.daemon:
+            self._live_worker_count -= 1
         if time_us is not None:
             actor.clock.advance_to(time_us)
             self._observe_time(actor.now)
+        self._discard_entry(actor)
         keys = self._blocked.pop(actor, ())
         for key in keys:
             group = self._waiters.get(key)
@@ -254,18 +368,6 @@ class Engine:
             actor for actor in self._actors if not actor.finished and not actor.daemon
         ]
 
-    def _wake_due_sleepers(self, horizon):
-        woken = False
-        while self._sleeping and self._sleeping[0][0] <= horizon:
-            wake_at, _, actor = heapq.heappop(self._sleeping)
-            if actor.finished:
-                continue
-            actor.clock.advance_to(wake_at)
-            self._observe_time(actor.now)
-            self._push_ready(actor)
-            woken = True
-        return woken
-
     def run(self, until_us=None):
         """Run until no live actors remain, a deadline, or a deadlock.
 
@@ -279,84 +381,87 @@ class Engine:
                     "likely a livelock in a simulated component"
                 )
 
-            if until_us is not None and self.now >= until_us:
-                return self.now
+            if until_us is not None and self._horizon >= until_us:
+                return self._horizon
 
             actor = self._pop_runnable()
             if actor is None:
                 if self._handle_stall():
                     continue
-                return self.now
+                return self._horizon
 
             result = actor.step()
             self._observe_time(actor.now)
             if self.trace is not None:
                 self.trace.append((actor.now, actor.name, result.status.value, result.detail))
 
-            if result.status is StepStatus.PROGRESS:
-                self._push_ready(actor)
-            elif result.status is StepStatus.BLOCKED:
+            status = result.status
+            if status is StepStatus.PROGRESS:
+                self._schedule(actor, actor.now, _KIND_READY)
+            elif status is StepStatus.BLOCKED:
                 self._block(actor, result.wait_keys)
-            elif result.status is StepStatus.SLEEP:
-                self._push_sleeping(actor, max(result.wake_at, actor.now))
-            elif result.status is StepStatus.DONE:
+            elif status is StepStatus.SLEEP:
+                self._schedule(actor, max(result.wake_at, actor.now), _KIND_SLEEP)
+            elif status is StepStatus.DONE:
                 actor.finished = True
+                if not actor.daemon:
+                    self._live_worker_count -= 1
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown step status {result.status}")
 
     def _pop_runnable(self):
         """Pop the next actor to step, respecting virtual-time causality.
 
-        Sleeping actors are merged with the ready queue by timestamp: a
-        sleeper whose wake time precedes the earliest ready actor's clock is
-        woken first, so no actor ever observes state produced "in its future".
+        Ready and sleeping actors share the event queue, merged by timestamp
+        (sleepers first on ties): a sleeper whose wake time precedes the
+        earliest ready actor's clock is woken first, so no actor ever
+        observes state produced "in its future".
         """
-        while True:
-            # Drop stale ready entries.
-            while self._ready and (
-                self._ready[0][2].finished or self._ready[0][2] in self._blocked
-            ):
-                heapq.heappop(self._ready)
-            while self._sleeping and self._sleeping[0][2].finished:
-                heapq.heappop(self._sleeping)
-
-            next_ready_time = self._ready[0][0] if self._ready else None
-            next_wake_time = self._sleeping[0][0] if self._sleeping else None
-
-            if next_wake_time is not None and (
-                next_ready_time is None or next_wake_time <= next_ready_time
-            ):
-                if next_ready_time is None and next_wake_time is not None \
-                        and not self._ready and not self._live_workers():
-                    # Only daemon sleepers remain; let the caller finish.
-                    return None
-                wake_at, _, actor = heapq.heappop(self._sleeping)
-                actor.clock.advance_to(wake_at)
-                self._observe_time(actor.now)
-                self._push_ready(actor)
+        queue = self._queue
+        entries = self._entries
+        while queue:
+            entry = queue[0]
+            actor = entry[_ENTRY_ACTOR]
+            if actor is None:
+                heapq.heappop(queue)
+                self._stale -= 1
                 continue
-
-            if self._ready:
-                _, _, actor = heapq.heappop(self._ready)
+            if actor.finished:
+                # Defensive: every finish path invalidates the entry, but an
+                # actor finished behind the engine's back must not be stepped.
+                heapq.heappop(queue)
+                if entries.get(actor) is entry:
+                    del entries[actor]
+                if entry[1] == _KIND_READY:
+                    self._ready_count -= 1
+                continue
+            if entry[1] == _KIND_READY:
+                heapq.heappop(queue)
+                del entries[actor]
+                self._ready_count -= 1
                 return actor
-            return None
+            # The earliest event is a sleeper wake-up.
+            if self._ready_count == 0 and self._live_worker_count <= 0 \
+                    and not self._live_workers():
+                # Only daemon sleepers remain; let the caller finish.
+                return None
+            heapq.heappop(queue)
+            del entries[actor]
+            actor.clock.advance_to(entry[0])
+            self._observe_time(actor.now)
+            self._schedule(actor, actor.now, _KIND_READY)
+        return None
 
     def _handle_stall(self):
-        """Called when the ready queue is empty.
+        """Called when the event queue ran dry.
 
-        Returns ``True`` when progress is still possible (a sleeper was woken),
-        ``False`` when the simulation has genuinely finished, and raises or
-        records a deadlock when live actors remain but none can ever run.
+        Returns ``True`` when progress is still possible, ``False`` when the
+        simulation has genuinely finished, and raises or records a deadlock
+        when live actors remain but none can ever run.
         """
         workers = self._live_workers()
         if not workers:
             return False
-
-        if self._sleeping:
-            # Jump virtual time forward to the earliest sleeper.
-            wake_at = self._sleeping[0][0]
-            self._wake_due_sleepers(wake_at)
-            return True
 
         blocked = [actor for actor in workers if actor in self._blocked]
         if blocked:

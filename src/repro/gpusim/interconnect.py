@@ -32,11 +32,22 @@ class TopologySpec:
     connected by an RDMA fat-tree whose uplinks are
     ``rdma_oversubscription``-to-1 oversubscribed, dividing the effective
     inter-node bandwidth.
+
+    A *two-level* fat-tree additionally groups ``nodes_per_pod`` consecutive
+    nodes under one leaf switch (a pod); traffic between pods crosses the
+    spine layer, paying ``spine_oversubscription`` further bandwidth division
+    and ``spine_alpha_extra_us`` extra per-message latency (the second switch
+    hop).  ``nodes_per_pod=0`` keeps the flat single-level fabric, which is
+    what every paper testbed uses; the two-level form is how the simulator
+    instantiates 256/512-rank clusters.
     """
 
     pix_group_size: int = 4
     nvlink_domain_size: int = 0
     rdma_oversubscription: float = 1.0
+    nodes_per_pod: int = 0
+    spine_oversubscription: float = 1.0
+    spine_alpha_extra_us: float = 2.0
 
     def validate(self):
         if self.pix_group_size < 1:
@@ -51,12 +62,37 @@ class TopologySpec:
             raise ConfigurationError(
                 f"rdma_oversubscription must be at least 1, got {self.rdma_oversubscription}"
             )
+        if self.nodes_per_pod < 0:
+            raise ConfigurationError(
+                f"nodes_per_pod must be non-negative, got {self.nodes_per_pod}"
+            )
+        if self.spine_oversubscription < 1.0:
+            raise ConfigurationError(
+                f"spine_oversubscription must be at least 1, "
+                f"got {self.spine_oversubscription}"
+            )
+        if self.spine_alpha_extra_us < 0.0:
+            raise ConfigurationError(
+                f"spine_alpha_extra_us must be non-negative, "
+                f"got {self.spine_alpha_extra_us}"
+            )
         return self
 
     @property
     def rdma_beta_gbps(self):
-        """Effective per-pair inter-node bandwidth after oversubscription."""
+        """Effective per-pair intra-pod inter-node bandwidth."""
         return LinkType.RDMA.beta_gbps / self.rdma_oversubscription
+
+    @property
+    def spine_beta_gbps(self):
+        """Effective per-pair cross-pod bandwidth (leaf and spine dividers)."""
+        return self.rdma_beta_gbps / self.spine_oversubscription
+
+    def pod_of(self, node_index):
+        """Pod (leaf-switch) index of a node; every node when single-level."""
+        if self.nodes_per_pod <= 0:
+            return 0
+        return node_index // self.nodes_per_pod
 
 
 @dataclass(frozen=True)
@@ -102,10 +138,23 @@ class Interconnect:
         self._overrides = dict(overrides or {})
         self._pair_degradations = {}
         self._device_degradations = {}
+        #: Resolved :class:`LinkSpec` per device pair.  Link resolution sits
+        #: on the per-primitive hot path (every send consults it), so the
+        #: result is cached until anything that feeds it — an override, a
+        #: degradation, a restore — changes.  ``link_epoch`` counts those
+        #: invalidations; downstream caches (primitive executors) compare it
+        #: to drop their own derived entries.
+        self._link_cache = {}
+        self.link_epoch = 0
+
+    def _invalidate_links(self):
+        self._link_cache.clear()
+        self.link_epoch += 1
 
     def override(self, device_a, device_b, spec):
         """Force a specific link between two devices (both directions)."""
         self._overrides[self._key(device_a, device_b)] = spec
+        self._invalidate_links()
 
     # -- fault injection: degradable links ------------------------------------
 
@@ -142,6 +191,7 @@ class Interconnect:
         self._pair_degradations.setdefault(self._key(device_a, device_b), []).append(
             (float(beta_factor), float(alpha_add_us))
         )
+        self._invalidate_links()
 
     def restore_link(self, device_a, device_b, beta_factor=None, alpha_add_us=0.0):
         """Remove one degradation between two devices (that fault ended)."""
@@ -149,6 +199,7 @@ class Interconnect:
             self._pair_degradations, self._key(device_a, device_b),
             beta_factor, alpha_add_us,
         )
+        self._invalidate_links()
 
     def degrade_device_links(self, device, beta_factor=1.0, alpha_add_us=0.0):
         """Degrade every link touching one device (NIC / PCIe-root fault)."""
@@ -160,12 +211,14 @@ class Interconnect:
         self._device_degradations.setdefault(key, []).append(
             (float(beta_factor), float(alpha_add_us))
         )
+        self._invalidate_links()
 
     def restore_device_links(self, device, beta_factor=None, alpha_add_us=0.0):
         self._remove_degradation(
             self._device_degradations, (device.node, device.local_rank),
             beta_factor, alpha_add_us,
         )
+        self._invalidate_links()
 
     def _degradation_for(self, device_a, device_b):
         """Combined (beta_factor, alpha_add) of pair and endpoint degradations."""
@@ -221,12 +274,24 @@ class Interconnect:
         if not isinstance(device_a, DeviceId) or not isinstance(device_b, DeviceId):
             raise TypeError("link() expects DeviceId arguments")
         key = self._key(device_a, device_b)
+        cached = self._link_cache.get(key)
+        if cached is not None:
+            return cached
         if key in self._overrides:
             spec = self._overrides[key]
         else:
             locality = self.locality(device_a, device_b)
             if locality is LinkType.RDMA:
-                spec = LinkSpec.of(LinkType.RDMA, beta_gbps=self.topology.rdma_beta_gbps)
+                topology = self.topology
+                if topology.pod_of(device_a.node) != topology.pod_of(device_b.node):
+                    spec = LinkSpec.of(
+                        LinkType.RDMA,
+                        alpha_us=LinkType.RDMA.alpha_us + topology.spine_alpha_extra_us,
+                        beta_gbps=topology.spine_beta_gbps,
+                    )
+                else:
+                    spec = LinkSpec.of(LinkType.RDMA,
+                                       beta_gbps=topology.rdma_beta_gbps)
             else:
                 spec = LinkSpec.of(locality)
         factor, alpha_add = self._degradation_for(device_a, device_b)
@@ -236,6 +301,7 @@ class Interconnect:
                 alpha_us=spec.alpha_us + alpha_add,
                 beta_gbps=spec.beta_gbps / factor,
             )
+        self._link_cache[key] = spec
         return spec
 
     def transfer_time_us(self, device_a, device_b, nbytes):

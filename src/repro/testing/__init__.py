@@ -1,0 +1,63 @@
+"""Differential conformance testing of the ``repro.api`` backends.
+
+SYSFLOW-style validation for the execution platform: a seeded generator
+(:mod:`repro.testing.generator`) draws random collective programs — mixed
+collective kinds over random subgroups, sizes, keys, jobs, priorities and
+optional fault plans — and a differential checker
+(:mod:`repro.testing.differential`) replays each program through every
+registered backend via the ``ProcessGroup`` / ``Work`` surface, asserting the
+cross-backend invariants:
+
+* every backend completes the program (liveness);
+* sequence-compiling backends (DFCCL, NCCL) execute byte-identical per-rank
+  primitive sequences;
+* reduction fingerprints agree — within one backend across ranks sharing a
+  completion signature, and across backends per invocation;
+* DFCCL never deadlocks, including under injected faults;
+* a fixed seed replays deterministically.
+
+``python -m repro.testing.fuzz --seed 0 --programs 200`` runs the fuzz loop
+from the command line; :func:`repro.testing.fuzz.minimize_program` shrinks a
+failing program to a minimal reproducer.
+"""
+
+from repro.testing.generator import (
+    CallSpec,
+    GroupSpec,
+    ProgramSpec,
+    generate_program,
+    topology_for_world,
+)
+from repro.testing.differential import (
+    CheckResult,
+    Divergence,
+    ReplayResult,
+    check_program,
+    replay_program,
+)
+__all__ = [
+    "CallSpec",
+    "CheckResult",
+    "Divergence",
+    "GroupSpec",
+    "ProgramSpec",
+    "ReplayResult",
+    "check_program",
+    "generate_program",
+    "replay_program",
+    "topology_for_world",
+]
+
+# ``fuzz`` and ``minimize_program`` resolve lazily through ``__getattr__``
+# below (importing the CLI module eagerly would shadow ``python -m
+# repro.testing.fuzz``), so they are deliberately absent from ``__all__``.
+
+
+def __getattr__(name):
+    # Lazy: importing the CLI module here would shadow `python -m
+    # repro.testing.fuzz` (runpy warns when the module is pre-imported).
+    if name in ("fuzz", "minimize_program"):
+        from repro.testing import fuzz as _fuzz
+
+        return getattr(_fuzz, name)
+    raise AttributeError(name)

@@ -144,3 +144,27 @@ class TestErrors:
         error = DeadlockError("boom", wait_graph={"a": ["k"]}, blocked=["a"])
         assert error.wait_graph == {"a": ["k"]}
         assert error.blocked == ["a"]
+
+
+class TestGlobalRngIsolationFixture:
+    @pytest.mark.uses_global_rng
+    def test_marked_tests_may_touch_global_rng(self):
+        """The escape hatch: marked tests may consume the global stream (the
+        autouse fixture still restores the state afterwards)."""
+        import random
+
+        before = random.getstate()
+        random.random()
+        assert random.getstate() != before
+
+    def test_deterministic_rng_does_not_touch_global_state(self):
+        """Library randomness is isolated: DeterministicRNG draws never move
+        the module-level stream (the autouse fixture would fail this test
+        loudly if they did)."""
+        import random
+
+        before = random.getstate()
+        rng = DeterministicRNG(1234)
+        rng.child("probe").uniform(0.0, 1.0)
+        rng.randint(0, 10)
+        assert random.getstate() == before

@@ -420,3 +420,138 @@ class TestEngineHorizonCache:
         late = Idle("late", start_time_us=42.0)
         engine.add_actor(late)
         assert engine.now == pytest.approx(42.0)
+
+
+class _ForeverSleeper(Actor):
+    """Sleeps in bounded hops forever (killed externally in tests)."""
+
+    daemon = True
+
+    def step(self):
+        return StepResult.sleep(self.now + 50.0)
+
+
+class TestEngineEventQueue:
+    def test_killed_sleepers_are_compacted(self):
+        """Satellite regression: cancelled/killed actors must not linger in
+        the event queue — stale entries are invalidated in place and the heap
+        is compacted once they outnumber the live ones."""
+        engine = Engine()
+        sleepers = [engine.add_actor(_ForeverSleeper(f"s{i}")) for i in range(500)]
+        worker = engine.add_actor(_CountdownActor("worker", 3))
+        for sleeper in sleepers:
+            assert engine.kill_actor(sleeper)
+        stats = engine.queue_stats()
+        assert stats["compactions"] >= 1
+        assert stats["stale"] <= max(64, stats["entries"] // 2)
+        # Live entries are exactly the surviving worker.
+        assert stats["live"] == 1
+        engine.run()
+        assert worker.finished
+
+    def test_kill_actor_is_idempotent(self):
+        engine = Engine()
+        actor = engine.add_actor(_ForeverSleeper("s"))
+        assert engine.kill_actor(actor) is True
+        assert engine.kill_actor(actor) is False
+
+    def test_reschedule_invalidates_old_entry(self):
+        """An actor has at most one live queue entry at any time."""
+        engine = Engine()
+        engine.add_actor(_CountdownActor("worker", 5))
+        engine.run()
+        stats = engine.queue_stats()
+        assert stats["live"] == 0
+        assert stats["ready"] == 0
+
+    def test_add_actors_batch_registration(self):
+        engine = Engine()
+        actors = engine.add_actors(_CountdownActor(f"w{i}", 2) for i in range(40))
+        assert len(actors) == 40
+        assert engine.queue_stats()["live"] == 40
+        engine.run()
+        assert all(actor.finished for actor in actors)
+
+    def test_daemon_sleeper_does_not_block_finish(self):
+        engine = Engine()
+        engine.add_actor(_ForeverSleeper("poller"))
+        worker = engine.add_actor(_CountdownActor("worker", 2))
+        engine.run()  # must terminate with only the daemon sleeper left
+        assert worker.finished
+
+    def test_signal_log_is_bounded(self):
+        engine = Engine(trace=[])
+        for i in range(engine.SIGNAL_LOG_LIMIT * 2):
+            engine.signal(("k", i))
+        assert len(engine._signal_log) == engine.SIGNAL_LOG_LIMIT
+
+
+class TestTwoLevelFatTree:
+    def test_cross_pod_pays_spine(self):
+        from repro.gpusim.interconnect import TopologySpec
+
+        topology = TopologySpec(nodes_per_pod=2, rdma_oversubscription=2.0,
+                                spine_oversubscription=2.0)
+        interconnect = Interconnect(topology=topology)
+        intra_pod = interconnect.link(DeviceId(0, 0), DeviceId(1, 0))
+        cross_pod = interconnect.link(DeviceId(0, 0), DeviceId(2, 0))
+        assert intra_pod.beta_gbps == pytest.approx(LinkType.RDMA.beta_gbps / 2.0)
+        assert cross_pod.beta_gbps == pytest.approx(LinkType.RDMA.beta_gbps / 4.0)
+        assert cross_pod.alpha_us == pytest.approx(
+            LinkType.RDMA.alpha_us + topology.spine_alpha_extra_us)
+
+    def test_single_level_unchanged(self):
+        from repro.gpusim.interconnect import TopologySpec
+
+        flat = Interconnect(topology=TopologySpec(rdma_oversubscription=2.0))
+        link = flat.link(DeviceId(0, 0), DeviceId(5, 0))
+        assert link.beta_gbps == pytest.approx(LinkType.RDMA.beta_gbps / 2.0)
+        assert link.alpha_us == pytest.approx(LinkType.RDMA.alpha_us)
+
+    def test_fat_tree_spec_scales(self):
+        from repro.gpusim import fat_tree_spec
+
+        spec = fat_tree_spec(512)
+        assert spec.total_gpus == 512
+        assert spec.topology.nodes_per_pod == 4
+        assert spec.topology.spine_oversubscription == 2.0
+        small = fat_tree_spec(32)
+        # 4 nodes fit one pod: stays a single-level fabric.
+        assert small.topology.nodes_per_pod == 0
+        assert small.topology.spine_oversubscription == 1.0
+
+    def test_named_fat_tree_topologies(self):
+        cluster = build_cluster("fat-tree-64")
+        assert cluster.world_size == 64
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            build_cluster("fat-tree-banana")
+
+    def test_link_cache_tracks_degradations(self):
+        interconnect = Interconnect()
+        a, b = DeviceId(0, 0), DeviceId(1, 0)
+        before = interconnect.link(a, b)
+        assert interconnect.link(a, b) is before  # cached
+        interconnect.degrade_link(a, b, beta_factor=4.0, alpha_add_us=7.0)
+        degraded = interconnect.link(a, b)
+        assert degraded.beta_gbps == pytest.approx(before.beta_gbps / 4.0)
+        assert degraded.alpha_us == pytest.approx(before.alpha_us + 7.0)
+        interconnect.restore_link(a, b)
+        restored = interconnect.link(a, b)
+        assert restored.beta_gbps == pytest.approx(before.beta_gbps)
+
+
+class TestWaiterTableAlias:
+    def test_waiters_by_key_is_the_live_waiter_table(self):
+        """The executor fast path keys off this public alias; it must track
+        blocks and signals exactly (the engine mutates in place, never
+        rebinds)."""
+        engine = Engine()
+        waiter = engine.add_actor(_WaiterActor("w", "ding"))
+        engine.add_actor(_SignallerActor("s", "ding", at_time=3.0))
+        assert engine.waiters_by_key is engine._waiters
+        engine.run()
+        assert waiter.finished
+        assert "ding" not in engine.waiters_by_key
+        assert engine.waiters_by_key is engine._waiters

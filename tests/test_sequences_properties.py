@@ -1,0 +1,158 @@
+"""Property tests for ``collectives.sequences``: byte conservation.
+
+For any rank count, payload and chunking, the compiled per-rank primitive
+sequences must satisfy the collective's algebra:
+
+* **pairwise flow conservation** — the bytes rank *i* sends to rank *j*
+  equal the bytes *j* receives from *i*, step by step (otherwise some
+  executor would block forever on a missing or surplus chunk);
+* **algebraic totals** — summed over ranks, the bytes on the wire equal the
+  collective's textbook cost: ``2(n-1)·L`` for all-reduce (ring and double
+  binary tree alike — each tree half carries its half up and down),
+  ``(n-1)·L`` for all-gather / reduce-scatter / broadcast / reduce, where
+  ``L`` is the total chunk-loop payload.
+
+Hypothesis drives rank counts, sizes and chunk sizes; failures shrink to the
+smallest diverging configuration automatically.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import CollectiveKind
+from repro.collectives.sequences import (
+    ALGORITHM_RING,
+    ALGORITHM_TREE,
+    TREE_KINDS,
+    chunk_loops,
+    generate_primitive_sequence,
+)
+
+KINDS = [
+    CollectiveKind.ALL_REDUCE,
+    CollectiveKind.ALL_GATHER,
+    CollectiveKind.REDUCE_SCATTER,
+    CollectiveKind.BROADCAST,
+    CollectiveKind.REDUCE,
+]
+
+#: Per-loop-byte wire multiplier of each collective (times (n-1)).
+WIRE_FACTOR = {
+    CollectiveKind.ALL_REDUCE: 2,
+    CollectiveKind.ALL_GATHER: 1,
+    CollectiveKind.REDUCE_SCATTER: 1,
+    CollectiveKind.BROADCAST: 1,
+    CollectiveKind.REDUCE: 1,
+}
+
+group_sizes = st.integers(min_value=2, max_value=24)
+payloads = st.integers(min_value=1, max_value=2 << 20)
+chunks = st.sampled_from([4 << 10, 32 << 10, 128 << 10])
+kinds = st.sampled_from(KINDS)
+roots = st.integers(min_value=0, max_value=23)
+algorithms = st.sampled_from([ALGORITHM_RING, ALGORITHM_TREE])
+
+
+def _sequences(kind, group_size, nbytes, chunk_bytes, root, algorithm):
+    return {
+        rank: generate_primitive_sequence(
+            kind, rank, group_size, nbytes, chunk_bytes=chunk_bytes,
+            root=root % group_size, algorithm=algorithm,
+        )
+        for rank in range(group_size)
+    }
+
+
+def _flows(sequences):
+    """``{(src, dst): [(loop, step, nbytes), ...]}`` send and recv views."""
+    sends, recvs = {}, {}
+    for rank, sequence in sequences.items():
+        for primitive in sequence:
+            if primitive.sends and primitive.send_peer is not None:
+                sends.setdefault((rank, primitive.send_peer), []).append(
+                    primitive.nbytes)
+            if primitive.recvs and primitive.recv_peer is not None:
+                recvs.setdefault((primitive.recv_peer, rank), []).append(
+                    primitive.nbytes)
+    return sends, recvs
+
+
+@settings(max_examples=120, deadline=None)
+@given(kind=kinds, group_size=group_sizes, nbytes=payloads, chunk_bytes=chunks,
+       root=roots, algorithm=algorithms)
+def test_pairwise_flow_conservation(kind, group_size, nbytes, chunk_bytes,
+                                    root, algorithm):
+    """Every byte sent i->j is received j<-i, in the same per-step sizes."""
+    sequences = _sequences(kind, group_size, nbytes, chunk_bytes, root, algorithm)
+    sends, recvs = _flows(sequences)
+    assert set(sends) == set(recvs)
+    for pair, sent in sends.items():
+        assert sorted(sent) == sorted(recvs[pair]), f"flow mismatch on {pair}"
+
+
+@settings(max_examples=120, deadline=None)
+@given(kind=kinds, group_size=group_sizes, nbytes=payloads, chunk_bytes=chunks,
+       root=roots, algorithm=algorithms)
+def test_total_wire_bytes_match_algebraic_cost(kind, group_size, nbytes,
+                                               chunk_bytes, root, algorithm):
+    """Summed over ranks, wire bytes equal the collective's textbook cost."""
+    sequences = _sequences(kind, group_size, nbytes, chunk_bytes, root, algorithm)
+    total_sent = sum(
+        primitive.nbytes
+        for sequence in sequences.values()
+        for primitive in sequence
+        if primitive.sends and primitive.send_peer is not None
+    )
+    tree = algorithm == ALGORITHM_TREE and kind in TREE_KINDS
+    sliced = not tree and kind in (
+        CollectiveKind.ALL_REDUCE,
+        CollectiveKind.ALL_GATHER,
+        CollectiveKind.REDUCE_SCATTER,
+    )
+    loop_total = sum(chunk_loops(nbytes, group_size, chunk_bytes,
+                                 per_rank_slices=sliced))
+    # Sliced ring collectives: every rank moves factor*(n-1) slices of the
+    # per-loop slice size, so the cluster-wide total carries an extra factor
+    # of n (with exact division this is the textbook factor*(n-1)*nbytes).
+    # Chains and trees move whole loop payloads over n-1 logical edges.
+    participants = group_size if sliced else 1
+    expected = WIRE_FACTOR[kind] * (group_size - 1) * loop_total * participants
+    assert total_sent == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(group_size=group_sizes, nbytes=payloads, chunk_bytes=chunks)
+def test_symmetric_collectives_balance_per_rank(group_size, nbytes, chunk_bytes):
+    """Ring all-reduce/all-gather/reduce-scatter: each rank sends == receives."""
+    for kind in (CollectiveKind.ALL_REDUCE, CollectiveKind.ALL_GATHER,
+                 CollectiveKind.REDUCE_SCATTER):
+        sequences = _sequences(kind, group_size, nbytes, chunk_bytes, 0,
+                               ALGORITHM_RING)
+        for rank, sequence in sequences.items():
+            sent = sum(p.nbytes for p in sequence
+                       if p.sends and p.send_peer is not None)
+            received = sum(p.nbytes for p in sequence
+                           if p.recvs and p.recv_peer is not None)
+            assert sent == received, f"rank {rank} imbalance for {kind}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(group_size=group_sizes, nbytes=payloads, chunk_bytes=chunks, root=roots)
+def test_rooted_collectives_source_and_sink(group_size, nbytes, chunk_bytes, root):
+    """Broadcast: only the root injects net bytes; reduce: only it absorbs."""
+    root %= group_size
+    for kind, net_at_root in ((CollectiveKind.BROADCAST, 1),
+                              (CollectiveKind.REDUCE, -1)):
+        sequences = _sequences(kind, group_size, nbytes, chunk_bytes, root,
+                               ALGORITHM_RING)
+        loop_total = sum(chunk_loops(nbytes, group_size, chunk_bytes,
+                                     per_rank_slices=False))
+        for rank, sequence in sequences.items():
+            sent = sum(p.nbytes for p in sequence
+                       if p.sends and p.send_peer is not None)
+            received = sum(p.nbytes for p in sequence
+                           if p.recvs and p.recv_peer is not None)
+            if rank == root:
+                assert sent - received == net_at_root * loop_total
+            else:
+                # Interior chain ranks forward; the chain end nets the data.
+                assert sent - received in (0, -net_at_root * loop_total)

@@ -1,0 +1,309 @@
+"""Tests for the differential conformance fuzzer (``repro.testing``).
+
+Includes the committed *negative* test: a backend with a deliberately
+injected sequence bug (wrong chunking on an otherwise correct engine) must be
+caught by the checker's sequence-parity invariant, and the minimizer must
+shrink the failing program.
+"""
+
+import pytest
+
+from repro.api import register_backend
+from repro.api.nccl_adapter import NcclCollectiveBackend
+from repro.common.errors import ConfigurationError
+from repro.testing import (
+    CallSpec,
+    GroupSpec,
+    ProgramSpec,
+    check_program,
+    generate_program,
+    replay_program,
+    topology_for_world,
+)
+from repro.testing.differential import DEFAULT_BACKENDS
+from repro.testing.fuzz import fuzz, main, minimize_program
+from dataclasses import replace
+
+
+class TestGenerator:
+    def test_same_seed_same_program(self):
+        one = generate_program(seed=123, world_size=6)
+        two = generate_program(seed=123, world_size=6)
+        assert one.describe() == two.describe()
+
+    def test_different_seeds_differ(self):
+        programs = {repr(generate_program(seed=s, world_size=6).describe())
+                    for s in range(8)}
+        assert len(programs) > 1
+
+    def test_programs_are_well_formed(self):
+        for seed in range(20):
+            program = generate_program(seed=seed, world_size=8)
+            assert program.groups[0].ranks == tuple(range(8))
+            for call in program.calls:
+                group = program.group(call.group_index)
+                assert call.count >= 1
+                assert 0 <= call.root < len(group.ranks)
+                # Every member rank issues the call exactly once.
+                for rank in range(8):
+                    occurrences = program.order_for(rank).count(call.call_id)
+                    assert occurrences == (1 if rank in group.ranks else 0)
+
+    def test_fault_programs_always_crash_someone(self):
+        program = generate_program(seed=77, world_size=8, with_faults=True)
+        assert program.has_faults
+        assert program.crashed_ranks()
+        assert 0 not in program.crashed_ranks()
+
+    def test_topology_for_world(self):
+        assert topology_for_world(4) == "single-3090"
+        assert topology_for_world(16) == "dual-3090"
+        assert topology_for_world(32) == "mixed-32"
+        assert topology_for_world(64) == "fat-tree-64"
+        assert topology_for_world(500) == "fat-tree-504"
+        with pytest.raises(ConfigurationError):
+            topology_for_world(0)
+
+
+class TestReplay:
+    def test_replay_completes_and_records(self):
+        program = generate_program(seed=1, world_size=4)
+        result = replay_program(program, "dfccl")
+        assert result.completed
+        assert result.records
+        assert all(record.done for record in result.records)
+        # dfccl compiles sequences; every record carries one.
+        assert result.sequences_available()
+
+    def test_mpi_has_no_sequences(self):
+        program = generate_program(seed=1, world_size=4)
+        result = replay_program(program, "mpi")
+        assert result.completed
+        assert not result.sequences_available()
+
+    def test_deadline_yields_stuck(self):
+        program = replace(generate_program(seed=1, world_size=4),
+                          deadline_us=1.0)
+        result = replay_program(program, "dfccl")
+        assert result.outcome == "stuck"
+        undone = [record for record in result.records if not record.done]
+        assert undone
+        assert all(record.members is None for record in undone)
+
+
+class TestChecker:
+    def test_clean_programs_pass(self):
+        for seed in (3, 11, 29):
+            program = generate_program(seed=seed, world_size=5)
+            check = check_program(program)
+            assert check.ok, check.summary()
+            assert set(check.results) == set(DEFAULT_BACKENDS)
+
+    def test_fault_program_checks_dfccl_only(self):
+        program = generate_program(seed=77, world_size=8, with_faults=True)
+        check = check_program(program)
+        assert check.ok, check.summary()
+        assert set(check.results) == {"dfccl"}
+
+    def test_determinism_replay_included(self):
+        program = generate_program(seed=8, world_size=4)
+        check = check_program(program, check_determinism=True)
+        assert check.ok
+
+    def test_dead_root_broadcast_aborts_instead_of_hanging(self):
+        """Fuzzer-found recovery gap: a rooted collective whose root dies
+        cannot be re-formed — survivors' waits must resolve as *aborted*
+        (communicator-abort semantics) instead of spinning to the deadline."""
+        from repro.faults.plan import FaultPlan
+
+        order = (0,)
+        program = ProgramSpec(
+            seed=0, world_size=4, topology="single-3090",
+            chunk_bytes=64 << 10, algorithm="ring",
+            groups=(GroupSpec(0, (0, 1, 2, 3)),),
+            calls=(CallSpec(call_id=0, group_index=0, kind="broadcast",
+                            count=1 << 12, root=3, key="c0"),),
+            orders=(order, order, order, order),
+            # The root dies before it can submit anything: its data is gone.
+            fault_plan=FaultPlan("dead-root").add_crash(3, at_us=0.5),
+            deadline_us=100_000.0,
+        )
+        result = replay_program(program, "dfccl")
+        assert result.outcome == "completed"
+        assert result.time_us < program.deadline_us
+        survivors = [rec for rec in result.records if rec.rank != 3]
+        assert survivors
+        assert all(rec.aborted and not rec.done for rec in survivors)
+        check = check_program(program)
+        assert check.ok, check.summary()
+
+    def test_stuck_fault_program_is_flagged(self):
+        """A recovery hang is a divergence even without an engine deadlock
+        report: survivors of a fault program must complete by the deadline."""
+        program = replace(
+            generate_program(seed=77, world_size=8, with_faults=True),
+            deadline_us=1.0,
+        )
+        check = check_program(program, check_determinism=False)
+        assert not check.ok
+        assert any(d.invariant == "liveness" and d.backend == "dfccl"
+                   for d in check.divergences)
+
+
+def _single_all_reduce_program(count=1 << 16, chunk_bytes=16 << 10, calls=1):
+    """A handcrafted program big enough that chunking shapes the sequence."""
+    call_list = tuple(
+        CallSpec(call_id=i, group_index=0, kind="all_reduce", count=count,
+                 key=f"c{i}")
+        for i in range(calls)
+    )
+    order = tuple(call.call_id for call in call_list)
+    return ProgramSpec(
+        seed=0,
+        world_size=4,
+        topology="single-3090",
+        chunk_bytes=chunk_bytes,
+        algorithm="ring",
+        groups=(GroupSpec(0, (0, 1, 2, 3)),),
+        calls=call_list,
+        orders=(order, order, order, order),
+    )
+
+
+class _WrongChunkNcclBackend(NcclCollectiveBackend):
+    """Deliberately injected sequence bug: ignores the requested chunk size.
+
+    Every rank is internally consistent (the program completes!), but the
+    compiled per-rank primitive sequences no longer match DFCCL's — exactly
+    the class of silent divergence the differential checker exists to catch.
+    """
+
+    name = "nccl-wrongchunk"
+
+    def __init__(self, cluster, chunk_bytes=None, **knobs):
+        wrong = (chunk_bytes // 2) if chunk_bytes else 64 << 10
+        super().__init__(cluster, chunk_bytes=wrong, **knobs)
+
+
+register_backend("nccl-wrongchunk", _WrongChunkNcclBackend)
+
+
+class TestNegative:
+    """The checker must catch an injected sequence bug (acceptance criterion)."""
+
+    def test_wrong_chunking_is_caught(self):
+        program = _single_all_reduce_program()
+        check = check_program(program, backends=("dfccl", "nccl-wrongchunk"),
+                              check_determinism=False)
+        assert not check.ok
+        invariants = {divergence.invariant for divergence in check.divergences}
+        assert "sequence-parity" in invariants
+        # The program itself completed on both backends: the bug is silent
+        # without differential checking.
+        assert all(result.completed for result in check.results.values())
+
+    def test_healthy_backend_passes_same_program(self):
+        program = _single_all_reduce_program()
+        check = check_program(program, backends=("dfccl", "nccl"),
+                              check_determinism=False)
+        assert check.ok, check.summary()
+
+    def test_minimizer_shrinks_failing_program(self):
+        program = _single_all_reduce_program(calls=3)
+        backends = ("dfccl", "nccl-wrongchunk")
+        assert not check_program(program, backends=backends,
+                                 check_determinism=False).ok
+        minimized = minimize_program(program, backends=backends)
+        assert len(minimized.calls) == 1
+        assert minimized.calls[0].count < program.calls[0].count
+        # Still failing: the minimizer never "fixes" the reproducer.
+        assert not check_program(minimized, backends=backends,
+                                 check_determinism=False).ok
+
+    def test_fuzz_loop_reports_failure(self, monkeypatch):
+        """The loop must actually surface a divergent program as a failure."""
+        import repro.testing.fuzz as fuzz_module
+
+        monkeypatch.setattr(
+            fuzz_module, "program_at",
+            lambda seed, index, **_: _single_all_reduce_program(),
+        )
+        summary = fuzz(seed=5, programs=3, backends=("dfccl", "nccl-wrongchunk"),
+                       log=lambda *_: None)
+        assert len(summary["failures"]) == 1  # stop_on_failure default
+        failure = summary["failures"][0]
+        assert failure["index"] == 0
+        assert any("sequence-parity" in d for d in failure["divergences"])
+
+    def test_main_exits_nonzero_and_prints_repro_on_failure(self, monkeypatch,
+                                                            capsys):
+        import repro.testing.fuzz as fuzz_module
+
+        monkeypatch.setattr(
+            fuzz_module, "program_at",
+            lambda seed, index, **_: _single_all_reduce_program(),
+        )
+        exit_code = main(["--seed", "5", "--programs", "2", "--ranks", "16",
+                          "--fault-fraction", "0.25", "--max-calls", "6",
+                          "--backends", "dfccl,nccl-wrongchunk"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "failing program:" in captured.out
+        # The repro command echoes the original generation knobs, not the
+        # drawn world size.
+        assert ("repro: python -m repro.testing.fuzz --seed 5 --programs 1 "
+                "--ranks 16 --fault-fraction 0.25 --max-calls 6") in captured.out
+
+
+class TestFuzzCli:
+    def test_cli_smoke_passes(self, capsys):
+        exit_code = main(["--seed", "1", "--programs", "4"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "0 divergent" in captured.out
+
+    def test_fuzz_function_clean_run(self):
+        summary = fuzz(seed=2, programs=5, log=lambda *_: None)
+        assert summary["failures"] == []
+        assert summary["programs"] == 5
+        assert summary["calls"] >= 5
+
+
+class TestReproFidelity:
+    def test_program_at_is_pure_and_index_independent(self):
+        from repro.testing.fuzz import program_at
+
+        knobs = {"max_ranks": 32, "fault_fraction": 0.4, "max_calls": 6}
+        once = program_at(7, 11, **knobs)
+        again = program_at(7, 11, **knobs)
+        assert once.describe() == again.describe()
+
+    def test_program_at_depends_on_generation_knobs(self):
+        """The drawn program is a function of the knobs, which is exactly why
+        the printed repro command must echo them rather than the drawn
+        world size."""
+        from repro.testing.fuzz import program_at
+
+        wide = [program_at(0, i, max_ranks=32).describe() for i in range(10)]
+        narrow = [program_at(0, i, max_ranks=8).describe() for i in range(10)]
+        assert wide != narrow
+
+    def test_fuzz_summary_carries_knobs(self):
+        summary = fuzz(seed=3, programs=2, max_ranks=16, fault_fraction=0.5,
+                       max_calls=3, log=lambda *_: None)
+        assert summary["knobs"] == {"max_ranks": 16, "fault_fraction": 0.5,
+                                    "max_calls": 3}
+
+    def test_fuzz_loop_matches_program_at(self):
+        """The loop generates exactly what the repro function regenerates."""
+        from repro.testing.fuzz import program_at
+
+        seen = []
+        fuzz(seed=9, programs=3, max_ranks=16, fault_fraction=0.3,
+             max_calls=4, verbose=True,
+             log=lambda line: seen.append(line))
+        for index in range(3):
+            regenerated = program_at(9, index, max_ranks=16,
+                                     fault_fraction=0.3, max_calls=4)
+            assert f"seed={regenerated.seed} " in seen[index]
+            assert f"world={regenerated.world_size} " in seen[index]
