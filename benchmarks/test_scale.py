@@ -40,8 +40,23 @@ def test_scale_sweep_writes_report(benchmark):
     print("\nscale sweep:",
           [(row["ranks"], row["algorithm"], round(row["steps_per_sec"]))
            for row in report["points"]])
-    assert ranks == [16, 64, 128, 256, 512]
+    assert ranks == [16, 64, 128, 256, 512, 512, 512]
     assert all(row["completed"] for row in report["points"])
+    # The 512-rank fat-tree trio: the hierarchical schedule beats flat ring
+    # and tree on virtual time (the workload-physics column), and the cost
+    # model picks it automatically.
+    trio = {row["algorithm"]: row for row in report["points"]
+            if row["ranks"] == 512}
+    assert set(trio) == {"ring", "tree", "hierarchical"}
+    assert (trio["hierarchical"]["virtual_time_us"]
+            < trio["ring"]["virtual_time_us"])
+    assert (trio["hierarchical"]["virtual_time_us"]
+            < trio["tree"]["virtual_time_us"])
+    selector = report["selector_512"]
+    assert selector["auto_algorithm"] == "hierarchical"
+    assert (selector["predicted_hierarchical_cost_us"]
+            < min(selector["predicted_ring_cost_us"],
+                  selector["predicted_tree_cost_us"]))
     # Sanity on the artifact: parse it back and find the 64-rank speedup.
     with open(SCALE_REPORT_PATH, encoding="utf-8") as fh:
         written = json.load(fh)

@@ -29,27 +29,34 @@ class DfcclWork(Work):
 
     @property
     def invocation(self):
+        """The backend-side :class:`~repro.core.registration.Invocation`."""
         return self.handle.invocation
 
     def submit_op(self):
+        """Host-program op submitting this rank's part to the daemon."""
         return self.handle.submit_op()
 
     def wait_op(self):
+        """Host-program op blocking until this rank's part resolves."""
         return self.handle.wait_op()
 
     @property
     def done(self):
+        """Whether this rank's callback fired (user-visible completion)."""
         return self.handle.done
 
     @property
     def aborted(self):
+        """Whether recovery abandoned this rank's part."""
         return self.handle.aborted
 
     @property
     def started_at_us(self):
+        """Virtual time this rank submitted, or ``None`` before submission."""
         return self.invocation.submit_times.get(self.handle.group_rank)
 
     def completion_info(self):
+        """The rank's :class:`CompletionInfo`, or ``None`` while running."""
         invocation = self.invocation
         group_rank = self.handle.group_rank
         if not invocation.is_gpu_complete(group_rank):
@@ -77,6 +84,7 @@ class DfcclWork(Work):
         )
 
     def primitive_sequence(self):
+        """The primitive sequence this rank compiled (for conformance checks)."""
         executor = self.invocation.executor_if_cached(self.handle.group_rank)
         if executor is None:
             executor = self.invocation.executor_for(self.handle.group_rank)
@@ -118,6 +126,7 @@ class DfcclCollectiveBackend(CollectiveBackend):
         return group.job if group.job is not None else self.job
 
     def ensure_collective(self, group, spec, key):
+        """Register the logical collective with DFCCL once, caching the result."""
         ident = (group, spec, key)
         coll = self._collectives.get(ident)
         if coll is None:
@@ -136,6 +145,7 @@ class DfcclCollectiveBackend(CollectiveBackend):
         return coll
 
     def create_work(self, group, spec, key, index, rank, callback=None, stream=None):
+        """Submit ``rank``'s part of invocation ``index`` and wrap the handle."""
         coll = self.ensure_collective(group, spec, key)
         handle = self.dfccl.submit(rank, coll.coll_id)
         work = DfcclWork(group, rank, key, index, handle)
@@ -146,6 +156,7 @@ class DfcclCollectiveBackend(CollectiveBackend):
     # -- lifecycle --------------------------------------------------------------
 
     def finalize_ops(self, rank):
+        """Teardown ops for ``rank``'s host program (``dfcclDestroy``)."""
         if not self.owns_backend:
             # Shared rank contexts serve other views; the daemon kernels
             # quit voluntarily once every tenant drained.
@@ -174,6 +185,7 @@ class DfcclCollectiveBackend(CollectiveBackend):
         return released
 
     def job_view(self, job):
+        """A tenant-namespaced view sharing this adapter's daemon kernels."""
         return DfcclCollectiveBackend(self.cluster, dfccl=self.dfccl, job=job)
 
     def release_job(self, job):
@@ -183,9 +195,11 @@ class DfcclCollectiveBackend(CollectiveBackend):
     # -- reporting -----------------------------------------------------------------
 
     def stats(self, rank):
+        """Per-rank daemon-kernel counters (``dfcclGetStats``)."""
         return self.dfccl.stats(rank)
 
     def diagnostics(self):
+        """Pool, daemon and recovery statistics for conformance reports."""
         daemon_stats = self.dfccl.all_stats()
         diag = {
             "pool": self.dfccl.pool.stats(),
@@ -217,6 +231,7 @@ class DfcclCollectiveBackend(CollectiveBackend):
         return diag
 
     def perf_report(self, group, works_by_rank):
+        """Latency/occupancy summary of a finished benchmark run."""
         first = group.ranks[0]
         works = works_by_rank[first]
         latencies = []

@@ -45,9 +45,11 @@ class ProcessGroup:
 
     @property
     def size(self):
+        """Number of member ranks."""
         return len(self.ranks)
 
     def group_rank(self, global_rank):
+        """Map a global rank to its dense 0-based rank within this group."""
         try:
             return self.ranks.index(global_rank)
         except ValueError:
@@ -113,31 +115,56 @@ class ProcessGroup:
         return self.priority if priority is None else priority
 
     def all_reduce(self, rank, count, dtype=DataType.FLOAT32, op=ReduceOp.SUM,
-                   key=None, priority=None, callback=None, stream=None):
+                   key=None, priority=None, callback=None, stream=None,
+                   algorithm=None):
+        """Reduce ``count`` elements across the group, result on every rank.
+
+        ``algorithm`` overrides the backend-wide schedule knob for this
+        logical collective only: ``"ring"``, ``"tree"``, ``"hierarchical"``
+        or ``"auto"`` (cost-model selection); ``None`` defers to the backend.
+        """
         spec = CollectiveSpec(CollectiveKind.ALL_REDUCE, count, dtype, op,
-                              priority=self._priority(priority))
+                              priority=self._priority(priority),
+                              algorithm=algorithm)
         return self.collective(rank, spec, key=key, callback=callback, stream=stream)
 
     def all_gather(self, rank, count, dtype=DataType.FLOAT32,
                    key=None, priority=None, callback=None, stream=None):
+        """Concatenate every rank's ``count`` elements onto every rank."""
         spec = CollectiveSpec(CollectiveKind.ALL_GATHER, count, dtype,
                               priority=self._priority(priority))
         return self.collective(rank, spec, key=key, callback=callback, stream=stream)
 
     def reduce_scatter(self, rank, count, dtype=DataType.FLOAT32, op=ReduceOp.SUM,
                        key=None, priority=None, callback=None, stream=None):
+        """Reduce across the group, each rank keeping one 1/n shard."""
         spec = CollectiveSpec(CollectiveKind.REDUCE_SCATTER, count, dtype, op,
+                              priority=self._priority(priority))
+        return self.collective(rank, spec, key=key, callback=callback, stream=stream)
+
+    def all_to_all(self, rank, count, dtype=DataType.FLOAT32,
+                   key=None, priority=None, callback=None, stream=None):
+        """Personalized exchange: every rank sends a distinct slice to every peer.
+
+        ``count`` is the per-rank send-buffer element count (one 1/n slice per
+        peer), matching ``torch.distributed.all_to_all_single``.  This is the
+        MoE expert-parallel dispatch/combine collective; it runs the pairwise
+        exchange schedule regardless of the algorithm knob.
+        """
+        spec = CollectiveSpec(CollectiveKind.ALL_TO_ALL, count, dtype,
                               priority=self._priority(priority))
         return self.collective(rank, spec, key=key, callback=callback, stream=stream)
 
     def broadcast(self, rank, count, dtype=DataType.FLOAT32, root=0,
                   key=None, priority=None, callback=None, stream=None):
+        """Copy ``count`` elements from group rank ``root`` to every rank."""
         spec = CollectiveSpec(CollectiveKind.BROADCAST, count, dtype, root=root,
                               priority=self._priority(priority))
         return self.collective(rank, spec, key=key, callback=callback, stream=stream)
 
     def reduce(self, rank, count, dtype=DataType.FLOAT32, op=ReduceOp.SUM, root=0,
                key=None, priority=None, callback=None, stream=None):
+        """Reduce ``count`` elements across the group onto group rank ``root``."""
         spec = CollectiveSpec(CollectiveKind.REDUCE, count, dtype, op, root=root,
                               priority=self._priority(priority))
         return self.collective(rank, spec, key=key, callback=callback, stream=stream)

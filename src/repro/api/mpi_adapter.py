@@ -76,6 +76,7 @@ class MpiWork(Work):
         self.callback = callback
 
     def submit_op(self):
+        """Host-program op marking this rank's arrival at the rendezvous."""
         def submit(host):
             self.coll.submit_times[self.rank] = host.now
             if self.coll.all_submitted():
@@ -84,9 +85,11 @@ class MpiWork(Work):
         return CallHook(submit, detail=f"mpi submit op {self.coll.op_id}")
 
     def wait_op(self):
+        """Host-program op blocking until the rendezvous resolves."""
         return _MpiWaitOp(self)
 
     def mark_complete(self, time_us):
+        """Record completion at ``time_us`` and fire the callback."""
         if self.rank not in self.coll.complete_times:
             self.coll.complete_times[self.rank] = time_us
             if self.callback is not None:
@@ -94,13 +97,16 @@ class MpiWork(Work):
 
     @property
     def done(self):
+        """Whether the rendezvous completed for this rank."""
         return self.rank in self.coll.complete_times
 
     @property
     def started_at_us(self):
+        """Virtual time this rank arrived, or ``None`` before arrival."""
         return self.coll.submit_times.get(self.rank)
 
     def completion_info(self):
+        """The rank's :class:`CompletionInfo`, or ``None`` while running."""
         if not self.done:
             return None
         return CompletionInfo(
@@ -133,6 +139,7 @@ class MpiCollectiveBackend(CollectiveBackend):
         self._collectives = {}
 
     def create_work(self, group, spec, key, index, rank, callback=None, stream=None):
+        """Join the analytic rendezvous of invocation ``index``."""
         del stream  # host-staged: there is no kernel launch stream
         ident = (group.group_id, spec, key, index)
         coll = self._collectives.get(ident)
@@ -142,6 +149,7 @@ class MpiCollectiveBackend(CollectiveBackend):
         return MpiWork(group, rank, key, index, coll, callback=callback)
 
     def perf_report(self, group, works_by_rank):
+        """Latency summary of a finished benchmark run."""
         first = group.ranks[0]
         latencies = []
         for work in works_by_rank[first]:

@@ -39,22 +39,27 @@ class NcclWork(Work):
         self.stream = stream
 
     def submit_op(self):
+        """Host-program op launching this rank's dedicated kernel."""
         return launch_collective(self.backend.nccl, self.op, self.rank,
                                  stream=self.stream, tenant=self.backend.tenant)
 
     def wait_op(self):
+        """Host-program op blocking on this rank's kernel completion."""
         return wait_collective(self.op, self.group_rank)
 
     @property
     def done(self):
+        """Whether this rank's kernel completed."""
         return self.op.is_complete(self.group_rank)
 
     @property
     def started_at_us(self):
+        """Virtual launch time of this rank's kernel, or ``None``."""
         kernel = self.op.kernel(self.group_rank)
         return kernel.launch_time_us if kernel is not None else None
 
     def completion_info(self):
+        """The rank's :class:`CompletionInfo`, or ``None`` while running."""
         if not self.done:
             return None
         # Dedicated kernels have no elastic recovery: the participant set is
@@ -66,6 +71,7 @@ class NcclWork(Work):
         )
 
     def primitive_sequence(self):
+        """The primitive sequence this rank compiled (for conformance checks)."""
         kernel = self.op.kernel(self.group_rank)
         if kernel is not None:
             return list(kernel.executor.primitives)
@@ -103,6 +109,7 @@ class NcclCollectiveBackend(CollectiveBackend):
         return comm
 
     def create_work(self, group, spec, key, index, rank, callback=None, stream=None):
+        """Join invocation ``index``'s shared op and wrap this rank's part."""
         comm = self._comm_for(group.ranks)
         ident = (group.group_id, spec, key, index)
         op = self._ops.get(ident)
@@ -124,18 +131,22 @@ class NcclCollectiveBackend(CollectiveBackend):
     # -- training integration ----------------------------------------------------
 
     def orchestrator_for(self, world_size):
+        """The CPU-coordination model training loops charge per step."""
         return resolve_orchestrator(self._orchestrator, world_size)
 
     def job_view(self, job):
+        """A tenant-tagged view sharing this adapter's NcclBackend."""
         return NcclCollectiveBackend(self.cluster, nccl=self.nccl, tenant=job,
                                      orchestrator=self._orchestrator)
 
     # -- reporting -----------------------------------------------------------------
 
     def diagnostics(self):
+        """Communicator counts for conformance reports."""
         return {"communicators": len(self.nccl.communicators)}
 
     def perf_report(self, group, works_by_rank):
+        """Latency/occupancy summary of a finished benchmark run."""
         first = group.ranks[0]
         launch_overhead = self.cluster.device(first).launch_overhead_us
         latencies = []

@@ -37,6 +37,7 @@ from repro.bench.scale_experiments import (
     machine_calibration_factor,
     run_scale_point,
     scale_sweep,
+    selector_report,
     speedup_vs_pre_pr,
     write_scale_report,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "machine_calibration_factor",
     "run_scale_point",
     "scale_sweep",
+    "selector_report",
     "speedup_vs_pre_pr",
     "write_scale_report",
     "deadlock_ratio_sweep",

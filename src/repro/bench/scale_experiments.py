@@ -46,13 +46,18 @@ PRE_PR_BASELINE = {
     "measured_at": "c7a1c39 (pre PR 5)",
 }
 
-#: The standard sweep ladder: (ranks, topology kind, algorithm).
+#: The standard sweep ladder: (ranks, topology kind, algorithm).  The three
+#: 512-rank fat-tree points run the same workload under every all-reduce
+#: schedule, so the report doubles as the flat-vs-hierarchical comparison
+#: (virtual_time_us is the workload-physics column to compare).
 SCALE_SWEEP_POINTS = (
     (16, "flat", "ring"),
     (64, "flat", "ring"),
     (128, "flat", "ring"),
     (256, "fat-tree", "tree"),
+    (512, "fat-tree", "ring"),
     (512, "fat-tree", "tree"),
+    (512, "fat-tree", "hierarchical"),
 )
 
 
@@ -177,6 +182,31 @@ def speedup_vs_pre_pr(row, calibration_ops_per_sec=None):
     return raw * machine_scale
 
 
+def selector_report(ranks=512, nbytes=1 << 20):
+    """The cost model's verdict on the headline fat-tree all-reduce point.
+
+    Recorded alongside the measured rows so the report shows both that the
+    hierarchical schedule *wins* (virtual_time_us of the 512-rank trio) and
+    that ``algorithm="auto"`` *picks* it from the alpha-beta estimates.
+    """
+    from repro.collectives import AlgorithmSelector
+
+    cluster = build_cluster(fat_tree_spec(ranks))
+    device_ids = [cluster.device(rank).device_id for rank in range(ranks)]
+    selector = AlgorithmSelector(cluster.interconnect)
+    choice = selector.choose(CollectiveKind.ALL_REDUCE, nbytes, ranks,
+                             device_ids)
+    return {
+        "ranks": ranks,
+        "topology": "fat-tree",
+        "nbytes": nbytes,
+        "auto_algorithm": choice.algorithm,
+        "predicted_ring_cost_us": choice.ring_cost_us,
+        "predicted_tree_cost_us": choice.tree_cost_us,
+        "predicted_hierarchical_cost_us": choice.hierarchical_cost_us,
+    }
+
+
 def scale_sweep(points=SCALE_SWEEP_POINTS, repeats=2, nbytes=1 << 20,
                 iterations=2):
     """Run the standard ladder; returns rows plus the 64-rank speedup."""
@@ -196,6 +226,7 @@ def scale_sweep(points=SCALE_SWEEP_POINTS, repeats=2, nbytes=1 << 20,
     return {
         "calibration_ops_per_sec": calibration,
         "pre_pr_baseline": dict(PRE_PR_BASELINE),
+        "selector_512": selector_report(nbytes=nbytes),
         "points": rows,
     }
 

@@ -23,20 +23,32 @@ from repro.collectives.primitives import (
     PrimitiveExecutor,
     PrimitiveOutcome,
 )
-from repro.collectives.selector import AlgorithmChoice, AlgorithmSelector
+from repro.collectives.selector import (
+    ALGORITHM_CHOICES,
+    AlgorithmChoice,
+    AlgorithmSelector,
+)
 from repro.collectives.sequences import (
+    ALGORITHM_HIERARCHICAL,
     ALGORITHM_RING,
     ALGORITHM_TREE,
+    ALGORITHMS,
+    HIERARCHICAL_KINDS,
     binary_tree_relations,
     binomial_tree_relations,
     chunk_loops,
     generate_primitive_sequence,
+    hierarchical_island_size,
     primitive_count,
 )
 
 __all__ = [
+    "ALGORITHM_CHOICES",
+    "ALGORITHM_HIERARCHICAL",
     "ALGORITHM_RING",
     "ALGORITHM_TREE",
+    "ALGORITHMS",
+    "HIERARCHICAL_KINDS",
     "AlgorithmChoice",
     "AlgorithmSelector",
     "Channel",
@@ -51,5 +63,6 @@ __all__ = [
     "binomial_tree_relations",
     "chunk_loops",
     "generate_primitive_sequence",
+    "hierarchical_island_size",
     "primitive_count",
 ]

@@ -1,11 +1,14 @@
-"""Topology-aware ring-vs-tree algorithm selection.
+"""Topology-aware ring/tree/hierarchical algorithm selection.
 
 Mirrors NCCL's tuner: for every registered collective the selector predicts
-the alpha/beta cost of the ring and tree algorithms from the message size, the
+the alpha/beta cost of each candidate algorithm from the message size, the
 group size and the link parameters of the devices actually involved, and picks
-the cheaper one.  Small messages on large groups are latency-bound and go to
+the cheapest.  Small messages on large groups are latency-bound and go to
 the tree (``O(log n)`` alpha terms); large messages are bandwidth-bound and go
-to the ring (bandwidth-optimal ``2(n-1)/n`` byte volume).
+to the ring (bandwidth-optimal ``2(n-1)/n`` byte volume); on multi-node
+topologies with enough islands, the two-level hierarchical all-reduce beats
+both by confining most steps to fast intra-island links and paying the slow
+inter-island alpha only ``2(k-1)`` times for ``k`` islands.
 
 The predicted costs share their structure with the simulator's primitive cost
 model — a systolic ring advances at the pace of its slowest link, the
@@ -24,14 +27,24 @@ from repro.common.errors import ConfigurationError
 from repro.common.types import CollectiveKind, LinkType
 from repro.collectives.cost import DEFAULT_COST_MODEL
 from repro.collectives.sequences import (
+    ALGORITHM_HIERARCHICAL,
     ALGORITHM_RING,
     ALGORITHM_TREE,
     DEFAULT_CHUNK_BYTES,
+    HIERARCHICAL_KINDS,
     TREE_KINDS,
+    hierarchical_island_size,
 )
 
 #: Values accepted by the ``algorithm`` configuration knob.
-ALGORITHM_CHOICES = ("auto", ALGORITHM_RING, ALGORITHM_TREE)
+ALGORITHM_CHOICES = ("auto", ALGORITHM_RING, ALGORITHM_TREE,
+                     ALGORITHM_HIERARCHICAL)
+
+#: ``auto`` only considers the hierarchical all-reduce at this island count or
+#: above.  Below it the inter-island ring is too short to amortize the extra
+#: intra-island phases, and the flat ring/tree estimates (calibrated on the
+#: dual-server testbed) stay authoritative.
+_HIERARCHICAL_MIN_ISLANDS = 4
 
 #: Bottleneck-bytes multiplier of the serialized double binary tree all-reduce
 #: relative to a single traversal (up + down phases, two trees, interior ranks
@@ -60,15 +73,28 @@ class LinkParameters:
 
 @dataclass(frozen=True)
 class AlgorithmChoice:
-    """Outcome of one selection: the winner plus both predicted costs."""
+    """Outcome of one selection: the winner plus every predicted cost.
+
+    ``hierarchical_cost_us`` is ``inf`` whenever the group has no valid
+    two-level decomposition (single node, ragged islands, no topology info).
+    """
 
     algorithm: str
     ring_cost_us: float
     tree_cost_us: float
+    hierarchical_cost_us: float = float("inf")
 
 
 class AlgorithmSelector:
-    """Picks ring vs. tree per collective from size, group and topology."""
+    """Predicts per-algorithm alpha/beta costs and picks the cheapest schedule.
+
+    One selector instance serves one backend: it caches the interconnect (for
+    per-link latency/bandwidth lookups) and the primitive cost model, and is
+    consulted once per registered collective (``resolve``) or explicitly via
+    ``choose``/``select``.  Candidates are the flat ring, the double binary
+    tree, and — for all-reduce on groups spanning >= ``_HIERARCHICAL_MIN_ISLANDS``
+    nodes — the two-level hierarchical schedule.
+    """
 
     def __init__(self, interconnect=None, cost_model=None,
                  chunk_bytes=DEFAULT_CHUNK_BYTES):
@@ -101,6 +127,26 @@ class AlgorithmSelector:
             betas.append(link.beta_gbps)
             inv_beta += 1.0 / (link.beta_gbps * 1e3)
         return LinkParameters(sum(alphas), max(alphas), min(betas), inv_beta)
+
+    def hierarchical_structure(self, device_ids):
+        """Two-level decomposition of a device group, or ``None``.
+
+        Returns ``(island_size, islands, intra_params, inter_params)`` when the
+        group's devices form >= 2 equal contiguous node-aligned islands and a
+        real interconnect is available to distinguish the tiers.  The intra
+        parameters aggregate the first island's ring edges; the inter
+        parameters aggregate the ring over each island's lead device.
+        """
+        if self.interconnect is None or not device_ids:
+            return None
+        devices = list(device_ids)
+        island_size = hierarchical_island_size(dev.node for dev in devices)
+        if island_size is None or island_size < 2:
+            return None
+        islands = len(devices) // island_size
+        intra_params = self.link_parameters(devices[:island_size])
+        inter_params = self.link_parameters(devices[::island_size])
+        return island_size, islands, intra_params, inter_params
 
     # -- predicted costs -------------------------------------------------------
 
@@ -159,12 +205,34 @@ class AlgorithmSelector:
             fill = 0.75 * depth * per_loop
             steady = (nloops - 1) * 1.5 * per_loop
             return fill + steady
+        if algorithm == ALGORITHM_HIERARCHICAL:
+            if kind not in HIERARCHICAL_KINDS:
+                return self.predicted_cost_us(ALGORITHM_RING, kind, nbytes,
+                                              group_size, device_ids, params=params)
+            structure = self.hierarchical_structure(device_ids)
+            if structure is None:
+                return float("inf")
+            m, k, intra, inter = structure
+            hop_intra = overhead + intra.alpha_max_us
+            hop_inter = overhead + inter.alpha_max_us
+            # 2(m-1) slab steps of nbytes/m inside the island (reduce-scatter
+            # + all-gather), 2(k-1) slice steps of nbytes/n across islands.
+            intra_cost = 2 * (m - 1) * (hop_intra
+                                        + (nbytes / m) / intra.bytes_per_us)
+            inter_cost = 2 * (k - 1) * (hop_inter
+                                        + (nbytes / n) / inter.bytes_per_us)
+            return intra_cost + inter_cost
         raise ConfigurationError(f"unknown algorithm {algorithm!r}")
 
     # -- selection -------------------------------------------------------------
 
     def choose(self, kind, nbytes, group_size, device_ids=None):
-        """Compare both algorithms and return an :class:`AlgorithmChoice`."""
+        """Compare the candidate algorithms and return an :class:`AlgorithmChoice`.
+
+        The hierarchical all-reduce only enters the comparison when the group
+        decomposes into >= ``_HIERARCHICAL_MIN_ISLANDS`` islands; its cost is
+        reported as ``inf`` otherwise.
+        """
         params = self.link_parameters(device_ids)
         ring_cost = self.predicted_cost_us(ALGORITHM_RING, kind, nbytes,
                                            group_size, params=params)
@@ -172,16 +240,33 @@ class AlgorithmSelector:
             return AlgorithmChoice(ALGORITHM_RING, ring_cost, float("inf"))
         tree_cost = self.predicted_cost_us(ALGORITHM_TREE, kind, nbytes,
                                            group_size, params=params)
-        winner = ALGORITHM_TREE if tree_cost < ring_cost else ALGORITHM_RING
-        return AlgorithmChoice(winner, ring_cost, tree_cost)
+        hierarchical_cost = float("inf")
+        if kind in HIERARCHICAL_KINDS:
+            structure = self.hierarchical_structure(device_ids)
+            if structure is not None and structure[1] >= _HIERARCHICAL_MIN_ISLANDS:
+                hierarchical_cost = self.predicted_cost_us(
+                    ALGORITHM_HIERARCHICAL, kind, nbytes, group_size, device_ids)
+        winner, best = ALGORITHM_RING, ring_cost
+        if tree_cost < best:
+            winner, best = ALGORITHM_TREE, tree_cost
+        if hierarchical_cost < best:
+            winner = ALGORITHM_HIERARCHICAL
+        return AlgorithmChoice(winner, ring_cost, tree_cost, hierarchical_cost)
 
     def select(self, kind, nbytes, group_size, device_ids=None):
         """The winning algorithm name for one collective call."""
         return self.choose(kind, nbytes, group_size, device_ids).algorithm
 
     def resolve(self, algorithm, kind, nbytes, group_size, device_ids=None):
-        """Resolve a config knob value (``auto``/``ring``/``tree``) to a
-        concrete algorithm for :func:`generate_primitive_sequence`."""
+        """Resolve an algorithm knob value to a concrete algorithm name.
+
+        Accepts ``"auto"`` (run the cost model), ``"ring"``, ``"tree"`` or
+        ``"hierarchical"`` and returns a concrete name suitable for
+        :func:`generate_primitive_sequence`; anything else raises
+        :class:`ConfigurationError`.  Explicit names pass through unchanged —
+        the sequence layer falls back to the flat ring when a family does not
+        apply to the collective kind or the group has no island structure.
+        """
         if algorithm not in ALGORITHM_CHOICES:
             raise ConfigurationError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHM_CHOICES}"

@@ -1,11 +1,12 @@
-"""Per-rank primitive sequence generation for the Ring and Tree algorithms.
+"""Per-rank primitive sequence generation for the collective algorithms.
 
 Every common collective (all-reduce, all-gather, reduce-scatter, reduce,
-broadcast) is compiled into a sequence of primitives for each participating
-rank, exactly as described in Sec. 4.1: the input is divided into regular
-chunks and the rank executes its primitive sequence once per chunk loop.
+broadcast, all-to-all) is compiled into a sequence of primitives for each
+participating rank, exactly as described in Sec. 4.1: the input is divided
+into regular chunks and the rank executes its primitive sequence once per
+chunk loop.
 
-Two algorithm families are supported, mirroring NCCL:
+Three algorithm families are supported, mirroring NCCL:
 
 * ``ring`` — the default: bandwidth-optimal ring (all-reduce, all-gather,
   reduce-scatter) and chain variants (broadcast, reduce);
@@ -13,7 +14,19 @@ Two algorithm families are supported, mirroring NCCL:
   binary tree for all-reduce (reduce up + broadcast down over two
   complementary trees, each carrying half the payload) and binomial trees for
   broadcast and reduce.  All-gather and reduce-scatter have no tree variant
-  (NCCL likewise only runs them on rings) and fall back to the ring.
+  (NCCL likewise only runs them on rings) and fall back to the ring;
+* ``hierarchical`` — a two-level all-reduce for node-structured fabrics:
+  reduce-scatter inside each island over the intra-node links, ring
+  all-reduce of the partials across islands (position peers only cross the
+  pod/spine links), all-gather back inside the island.  The island structure
+  is supplied by the caller via ``island_size`` (derived from the participant
+  devices with :func:`hierarchical_island_size`); groups without a usable
+  two-level structure fall back to the flat ring.
+
+All-to-all is a pairwise-exchange schedule (the MoE expert-parallel
+collective): each rank copies its own slice locally, then in step ``s`` sends
+slice ``(rank+s) mod n`` while receiving from ``(rank-s) mod n``.  It has a
+single schedule and ignores the algorithm knob, like all-gather.
 """
 
 from __future__ import annotations
@@ -40,7 +53,8 @@ DEFAULT_CHUNK_BYTES = 128 << 10
 #: Algorithm names accepted by :func:`generate_primitive_sequence`.
 ALGORITHM_RING = "ring"
 ALGORITHM_TREE = "tree"
-ALGORITHMS = (ALGORITHM_RING, ALGORITHM_TREE)
+ALGORITHM_HIERARCHICAL = "hierarchical"
+ALGORITHMS = (ALGORITHM_RING, ALGORITHM_TREE, ALGORITHM_HIERARCHICAL)
 
 #: Collectives that have a dedicated tree variant.
 TREE_KINDS = (
@@ -48,6 +62,9 @@ TREE_KINDS = (
     CollectiveKind.BROADCAST,
     CollectiveKind.REDUCE,
 )
+
+#: Collectives that have a two-level hierarchical variant.
+HIERARCHICAL_KINDS = (CollectiveKind.ALL_REDUCE,)
 
 #: Below this payload the double binary tree sends everything through one
 #: tree: the per-rank executor serializes the two trees, so splitting a
@@ -161,6 +178,182 @@ def _reduce_scatter_loop(group_rank, group_size, loop, nbytes):
                   chunk_index=(group_rank + 1) % group_size, nbytes=nbytes,
                   recv_peer=recv_peer)
     )
+    return primitives
+
+
+def _all_to_all_loop(group_rank, group_size, loop, nbytes):
+    """Pairwise exchange: 1 local copy + (n-1) independent send/recv pairs.
+
+    Step ``s`` sends this rank's slice for peer ``(rank+s) mod n`` while
+    receiving the slice peer ``(rank-s) mod n`` addressed to this rank.  The
+    send and recv of one step are separate primitives (nothing is forwarded:
+    every rank injects its own data), so the executor first drains the send
+    into the bounded channel, then blocks on the matching recv.
+    """
+    primitives = [
+        Primitive("copy", PRIM_COPY, loop, 0, chunk_index=group_rank, nbytes=nbytes)
+    ]
+    step = 1
+    for offset in range(1, group_size):
+        send_peer = (group_rank + offset) % group_size
+        recv_peer = (group_rank - offset) % group_size
+        primitives.append(
+            Primitive("send", PRIM_SEND, loop, step, chunk_index=send_peer,
+                      nbytes=nbytes, send_peer=send_peer)
+        )
+        step += 1
+        primitives.append(
+            Primitive("recv", PRIM_RECV, loop, step, chunk_index=recv_peer,
+                      nbytes=nbytes, recv_peer=recv_peer)
+        )
+        step += 1
+    return primitives
+
+
+def hierarchical_island_size(nodes):
+    """Island size usable by the hierarchical all-reduce, or ``None``.
+
+    ``nodes`` is one hashable island label per group rank (typically the
+    device's node id), in group-rank order.  The two-level schedule needs the
+    rank space to decompose into >= 2 equal contiguous islands whose members
+    share a label — exactly the layout row-major rank assignment over
+    equal-sized nodes produces.  Anything else (a single node, ragged islands
+    after an elastic shrink, interleaved subgroups) returns ``None`` and the
+    caller falls back to the flat ring.
+    """
+    nodes = list(nodes)
+    total = len(nodes)
+    if total < 4:
+        return None
+    labels = []
+    for label in nodes:
+        if not labels or labels[-1] != label:
+            labels.append(label)
+    islands = len(labels)
+    if islands < 2 or len(set(labels)) != islands:
+        return None
+    size, remainder = divmod(total, islands)
+    if remainder or size < 1:
+        return None
+    if any(nodes[rank] != labels[rank // size] for rank in range(total)):
+        return None
+    return size
+
+
+def _hierarchical_all_reduce_loop(group_rank, group_size, loop, nbytes,
+                                  island_size):
+    """Two-level all-reduce: intra-island reduce-scatter, inter-island ring
+    all-reduce of the partials, intra-island all-gather.
+
+    ``nbytes`` is the per-slice payload of this chunk loop (the loop total
+    divided across ``group_size`` ring slices, as in the flat ring).  With
+    ``k = group_size // island_size`` islands:
+
+    * phase 1 moves ``island_size - 1`` slabs of ``k`` slices over intra-island
+      links, leaving each rank with the island-wide partial of its 1/m share;
+    * phase 2 runs a ring all-reduce of that share among the ``k`` position
+      peers (one rank per island), ``2(k-1)`` single-slice steps over the
+      inter-island links;
+    * phase 3 all-gathers the fully reduced shares back inside the island.
+
+    Per rank the wire volume is ``2(m-1)·k + 2(k-1) = 2(n-1)`` slices — the
+    same total as the flat ring, but with only ``2(k-1)`` slices crossing
+    island boundaries.
+    """
+    m = island_size
+    k = group_size // m
+    island = group_rank // m
+    position = group_rank % m
+    base = island * m
+    intra_send = base + (position + 1) % m
+    intra_recv = base + (position - 1) % m
+    inter_send = ((island + 1) % k) * m + position
+    inter_recv = ((island - 1) % k) * m + position
+    slab = nbytes * k  # one 1/m share of the loop payload (k slices)
+
+    primitives = []
+    step = 0
+
+    # -- phase 1: intra-island reduce-scatter (m-1 slab steps) -----------------
+    if m > 1:
+        primitives.append(
+            Primitive("send", PRIM_SEND, loop, step, chunk_index=position,
+                      nbytes=slab, send_peer=intra_send)
+        )
+        for _ in range(m - 2):
+            step += 1
+            primitives.append(
+                Primitive("recvReduceSend", PRIM_RECV_REDUCE_SEND, loop, step,
+                          chunk_index=(position - step) % m, nbytes=slab,
+                          send_peer=intra_send, recv_peer=intra_recv)
+            )
+        step += 1
+        primitives.append(
+            Primitive("recvReduceCopy", PRIM_RECV_REDUCE_COPY, loop, step,
+                      chunk_index=(position + 1) % m, nbytes=slab,
+                      recv_peer=intra_recv)
+        )
+        step += 1
+
+    # -- phase 2: inter-island ring all-reduce of the 1/m share ----------------
+    primitives.append(
+        Primitive("send", PRIM_SEND, loop, step, chunk_index=island,
+                  nbytes=nbytes, send_peer=inter_send)
+    )
+    substep = 0
+    for _ in range(k - 2):
+        step += 1
+        substep += 1
+        primitives.append(
+            Primitive("recvReduceSend", PRIM_RECV_REDUCE_SEND, loop, step,
+                      chunk_index=(island - substep) % k, nbytes=nbytes,
+                      send_peer=inter_send, recv_peer=inter_recv)
+        )
+    step += 1
+    substep += 1
+    primitives.append(
+        Primitive("recvReduceCopySend", PRIM_RECV_REDUCE_COPY_SEND, loop, step,
+                  chunk_index=(island - substep) % k, nbytes=nbytes,
+                  send_peer=inter_send, recv_peer=inter_recv)
+    )
+    for _ in range(k - 2):
+        step += 1
+        substep += 1
+        primitives.append(
+            Primitive("recvCopySend", PRIM_RECV_COPY_SEND, loop, step,
+                      chunk_index=(island - substep) % k, nbytes=nbytes,
+                      send_peer=inter_send, recv_peer=inter_recv)
+        )
+    step += 1
+    substep += 1
+    primitives.append(
+        Primitive("recv", PRIM_RECV, loop, step,
+                  chunk_index=(island - substep) % k, nbytes=nbytes,
+                  recv_peer=inter_recv)
+    )
+    step += 1
+
+    # -- phase 3: intra-island all-gather of the reduced shares ----------------
+    if m > 1:
+        primitives.append(
+            Primitive("send", PRIM_SEND, loop, step, chunk_index=position,
+                      nbytes=slab, send_peer=intra_send)
+        )
+        substep = 0
+        for _ in range(m - 2):
+            step += 1
+            substep += 1
+            primitives.append(
+                Primitive("recvCopySend", PRIM_RECV_COPY_SEND, loop, step,
+                          chunk_index=(position - substep) % m, nbytes=slab,
+                          send_peer=intra_send, recv_peer=intra_recv)
+            )
+        step += 1
+        primitives.append(
+            Primitive("recv", PRIM_RECV, loop, step,
+                      chunk_index=(position + 1) % m, nbytes=slab,
+                      recv_peer=intra_recv)
+        )
     return primitives
 
 
@@ -340,14 +533,23 @@ def generate_primitive_sequence(
     chunk_bytes=DEFAULT_CHUNK_BYTES,
     root=0,
     algorithm=ALGORITHM_RING,
+    island_size=None,
 ):
     """Generate the full primitive sequence of one rank for one collective call.
 
     ``nbytes`` is the collective's input payload in bytes (per-rank input for
-    all-gather, total for the others), matching :class:`CollectiveSpec.nbytes`.
-    ``algorithm`` selects the ring or tree family; ``"auto"`` must be resolved
-    to a concrete algorithm by :class:`repro.collectives.selector.AlgorithmSelector`
-    before this layer.
+    all-gather and all-to-all, total for the others), matching
+    :class:`CollectiveSpec.nbytes`.  ``algorithm`` selects the ring, tree or
+    hierarchical family; ``"auto"`` must be resolved to a concrete algorithm by
+    :class:`repro.collectives.selector.AlgorithmSelector` before this layer.
+
+    ``island_size`` enables the two-level hierarchical all-reduce: it is the
+    number of consecutive group ranks that share a fast intra-island domain
+    (typically one node), as computed by :func:`hierarchical_island_size`.
+    When ``algorithm="hierarchical"`` but ``island_size`` does not describe a
+    valid two-level decomposition (``None``, does not divide ``group_size``,
+    or degenerate), the schedule falls back to the flat ring — the safe
+    topology-oblivious default.
     """
     if algorithm not in ALGORITHMS:
         raise ConfigurationError(
@@ -361,10 +563,18 @@ def generate_primitive_sequence(
         return [Primitive("copy", PRIM_COPY, 0, 0, chunk_index=0, nbytes=nbytes)]
 
     tree = algorithm == ALGORITHM_TREE and kind in TREE_KINDS
+    hierarchical = (
+        algorithm == ALGORITHM_HIERARCHICAL
+        and kind in HIERARCHICAL_KINDS
+        and island_size is not None
+        and 1 < island_size < group_size
+        and group_size % island_size == 0
+    )
     sliced = not tree and kind in (
         CollectiveKind.ALL_REDUCE,
         CollectiveKind.REDUCE_SCATTER,
         CollectiveKind.ALL_GATHER,
+        CollectiveKind.ALL_TO_ALL,
     )
     loops = chunk_loops(nbytes, group_size, chunk_bytes, per_rank_slices=sliced)
 
@@ -374,8 +584,13 @@ def generate_primitive_sequence(
             if tree:
                 sequence.extend(_all_reduce_tree_loop(group_rank, group_size, loop,
                                                       loop_nbytes))
+            elif hierarchical:
+                sequence.extend(_hierarchical_all_reduce_loop(
+                    group_rank, group_size, loop, loop_nbytes, island_size))
             else:
                 sequence.extend(_all_reduce_loop(group_rank, group_size, loop, loop_nbytes))
+        elif kind is CollectiveKind.ALL_TO_ALL:
+            sequence.extend(_all_to_all_loop(group_rank, group_size, loop, loop_nbytes))
         elif kind is CollectiveKind.ALL_GATHER:
             sequence.extend(_all_gather_loop(group_rank, group_size, loop, loop_nbytes))
         elif kind is CollectiveKind.REDUCE_SCATTER:

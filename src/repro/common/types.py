@@ -48,6 +48,7 @@ class CollectiveKind(enum.Enum):
     REDUCE = "reduce"
     BROADCAST = "broadcast"
     SEND_RECV = "send_recv"
+    ALL_TO_ALL = "all_to_all"
 
     @property
     def reduces(self):
@@ -120,6 +121,12 @@ class CollectiveSpec:
     op: ReduceOp = ReduceOp.SUM
     root: int = 0
     priority: int = 0
+    #: Optional per-collective algorithm hint ("ring" / "tree" /
+    #: "hierarchical" / "auto").  ``None`` defers to the backend-level knob;
+    #: validation happens at algorithm-resolution time
+    #: (:meth:`repro.collectives.AlgorithmSelector.resolve`), keeping this
+    #: module free of collective-layer imports.
+    algorithm: str = None
 
     @property
     def nbytes(self):

@@ -12,7 +12,10 @@ from __future__ import annotations
 from repro.collectives.channels import Communicator
 from repro.collectives.primitives import PrimitiveExecutor
 from repro.collectives.selector import AlgorithmSelector
-from repro.collectives.sequences import generate_primitive_sequence
+from repro.collectives.sequences import (
+    generate_primitive_sequence,
+    hierarchical_island_size,
+)
 from repro.common.errors import ConfigurationError, InvalidStateError
 from repro.common.types import CollectiveKind
 from repro.ncclsim.kernels import grid_size_for
@@ -48,8 +51,9 @@ class RegisteredCollective:
         self.abandoned = False
 
     def _resolve_algorithm(self, devices):
+        # A per-collective spec hint overrides the backend-wide config knob.
         return self._selector.resolve(
-            self.config.algorithm,
+            self.spec.algorithm or self.config.algorithm,
             self.spec.kind,
             self.spec.nbytes,
             len(devices),
@@ -148,6 +152,7 @@ class RegisteredCollective:
             )
         else:
             virtual_root = 0
+        participant_devices = [self.devices[rank] for rank in participants]
         sequence = generate_primitive_sequence(
             self.spec.kind,
             virtual_rank,
@@ -156,6 +161,9 @@ class RegisteredCollective:
             chunk_bytes=self.config.chunk_bytes,
             root=virtual_root,
             algorithm=self.algorithm,
+            island_size=hierarchical_island_size(
+                device.device_id.node for device in participant_devices
+            ),
         )
         return PrimitiveExecutor(
             collective_id=self.coll_id,

@@ -8,7 +8,11 @@ import weakref
 from repro.collectives.channels import Communicator
 from repro.collectives.primitives import PrimitiveExecutor
 from repro.collectives.selector import AlgorithmSelector
-from repro.collectives.sequences import DEFAULT_CHUNK_BYTES, generate_primitive_sequence
+from repro.collectives.sequences import (
+    DEFAULT_CHUNK_BYTES,
+    generate_primitive_sequence,
+    hierarchical_island_size,
+)
 from repro.common.errors import InvalidStateError
 
 _op_ids = itertools.count()
@@ -44,9 +48,16 @@ class NcclCollectiveOp:
         self.cost_model = cost_model
         self.chunk_bytes = chunk_bytes
         selector = AlgorithmSelector(interconnect, cost_model=cost_model)
+        # A per-collective spec hint overrides the communicator-wide knob.
         self.algorithm = selector.resolve(
-            algorithm, spec.kind, spec.nbytes, len(self.devices),
+            spec.algorithm or algorithm, spec.kind, spec.nbytes,
+            len(self.devices),
             [device.device_id for device in self.devices],
+        )
+        # Same island derivation as the DFCCL side (group-rank-ordered node
+        # ids), so both backends compile identical hierarchical sequences.
+        self.island_size = hierarchical_island_size(
+            device.device_id.node for device in self.devices
         )
         self._complete_ranks = {}
         self._kernels = {}
@@ -67,6 +78,7 @@ class NcclCollectiveOp:
             chunk_bytes=self.chunk_bytes,
             root=self.spec.root,
             algorithm=self.algorithm,
+            island_size=self.island_size,
         )
         return PrimitiveExecutor(
             collective_id=self.op_id,

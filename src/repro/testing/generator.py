@@ -23,8 +23,8 @@ from repro.faults.plan import FaultPlan
 
 #: Collective call surface exercised by the generator (`barrier` is sugar for
 #: a one-element all-reduce but goes through its own ProcessGroup entry point).
-CALL_KINDS = ("all_reduce", "all_gather", "reduce_scatter", "broadcast",
-              "reduce", "barrier")
+CALL_KINDS = ("all_reduce", "all_gather", "reduce_scatter", "all_to_all",
+              "broadcast", "reduce", "barrier")
 
 #: Kinds that carry a root argument.
 ROOTED_KINDS = ("broadcast", "reduce")
@@ -174,7 +174,8 @@ def generate_program(seed, world_size=8, max_calls=8, max_groups=3,
 
     knob_stream = rng.child("knobs")
     if algorithm is None:
-        algorithm = knob_stream.choice(["ring", "ring", "tree", "auto"])
+        algorithm = knob_stream.choice(["ring", "ring", "tree", "hierarchical",
+                                        "auto"])
     if chunk_bytes is None:
         chunk_bytes = knob_stream.choice([16 << 10, 64 << 10, 128 << 10])
     if topology is None:

@@ -15,10 +15,16 @@ from repro.workloads.models import (
     LayerSpec,
     ModelSpec,
     gpt2_model,
+    gpt_moe_model,
     resnet50_model,
     vit_model,
 )
-from repro.workloads.parallelism import CollectiveItem, ComputeItem, ParallelPlan
+from repro.workloads.parallelism import (
+    CollectiveItem,
+    ComputeItem,
+    MoeParallelPlan,
+    ParallelPlan,
+)
 from repro.workloads.backends import (
     DfcclTrainingBackend,
     GroupTrainingBackend,
@@ -33,11 +39,13 @@ __all__ = [
     "GroupTrainingBackend",
     "LayerSpec",
     "ModelSpec",
+    "MoeParallelPlan",
     "NcclTrainingBackend",
     "ParallelPlan",
     "TrainingResult",
     "TrainingRun",
     "gpt2_model",
+    "gpt_moe_model",
     "resnet50_model",
     "vit_model",
 ]

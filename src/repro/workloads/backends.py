@@ -221,4 +221,5 @@ def _spec_for(item):
         count=max(1, item.count),
         root=root,
         priority=item.priority,
+        algorithm=getattr(item, "algorithm", None),
     )

@@ -130,3 +130,42 @@ def gpt2_model(variant="small"):
         )
     layers.append(LayerSpec("lm_head", vocab * hidden, seq * vocab, 2 * seq * vocab * hidden))
     return ModelSpec(f"gpt2-{variant}", layers)
+
+
+def gpt_moe_model(variant="small", num_experts=8, top_k=2):
+    """GPT with mixture-of-experts FFNs (Switch/GShard-style decoder stack).
+
+    Every decoder layer keeps the dense attention block (``4·h²`` parameters)
+    but replaces the FFN with ``num_experts`` experts of ``8·h²`` parameters
+    each, of which every token activates ``top_k`` — so parameters scale with
+    the expert count while per-sample FLOPs only scale with ``top_k``.  The
+    expert-parallel all-to-all traffic this implies is added by
+    :class:`~repro.workloads.parallelism.MoeParallelPlan`, which shards the
+    experts across the data-parallel group.
+    """
+    if variant == "small":
+        depth, hidden, seq, vocab = 12, 768, 1024, 50_257
+    elif variant == "medium":
+        depth, hidden, seq, vocab = 24, 1024, 1024, 50_257
+    else:
+        raise ValueError(f"unknown GPT-MoE variant {variant!r}")
+    if num_experts < 1 or not 1 <= top_k <= num_experts:
+        raise ValueError(
+            f"need 1 <= top_k <= num_experts, got top_k={top_k} "
+            f"num_experts={num_experts}"
+        )
+    layers = [LayerSpec("embedding", vocab * hidden, seq * hidden, 0.2e9)]
+    attention_params = 4 * hidden * hidden
+    expert_params = 8 * hidden * hidden
+    attention_flops = 8 * seq * hidden * hidden
+    active_expert_flops = top_k * 16 * seq * hidden * hidden
+    for index in range(depth):
+        layers.append(LayerSpec(
+            f"moe_decoder{index}",
+            attention_params + num_experts * expert_params,
+            seq * hidden,
+            attention_flops + active_expert_flops,
+        ))
+    layers.append(LayerSpec("lm_head", vocab * hidden, seq * vocab,
+                            2 * seq * vocab * hidden))
+    return ModelSpec(f"gpt-moe-{variant}-{num_experts}e", layers)

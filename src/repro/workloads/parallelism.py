@@ -12,7 +12,7 @@ on the schedule being consistent plus their orchestration method).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import CollectiveKind
@@ -35,6 +35,9 @@ class CollectiveItem:
     count: int
     group_ranks: tuple
     priority: int = 0
+    #: Optional per-collective schedule hint, carried into
+    #: :attr:`CollectiveSpec.algorithm` (``None`` = backend default).
+    algorithm: str = None
 
     @property
     def nbytes(self):
@@ -206,6 +209,84 @@ class ParallelPlan:
             for item in self.collective_items(rank):
                 unique.setdefault(item.key, item)
         return unique
+
+
+class MoeParallelPlan(ParallelPlan):
+    """A :class:`ParallelPlan` for mixture-of-experts models.
+
+    Experts are sharded across the data-parallel group (DeepSpeed-MoE-style
+    ``ep_size == dp``): every microbatch adds a token *dispatch* all-to-all
+    before expert compute and a *combine* all-to-all after it, in forward and
+    mirrored in backward.  Data-parallel gradient all-reduces carry
+    ``dp_algorithm`` (default ``"hierarchical"``) as their per-collective
+    schedule hint — on multi-node clusters the two-level schedule keeps the
+    bucketed gradient traffic mostly on intra-island links while the
+    all-to-alls cross them.
+    """
+
+    def __init__(self, model, num_experts=8, top_k=2, capacity_factor=1.25,
+                 dp_algorithm="hierarchical", **kwargs):
+        super().__init__(model, **kwargs)
+        if num_experts < 1 or not 1 <= top_k <= num_experts:
+            raise ConfigurationError(
+                f"need 1 <= top_k <= num_experts, got top_k={top_k} "
+                f"num_experts={num_experts}"
+            )
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.capacity_factor = capacity_factor
+        self.dp_algorithm = dp_algorithm
+
+    def expert_tokens(self, activation_count):
+        """Per-rank all-to-all element count of one dispatch/combine."""
+        routed = activation_count * self.top_k * self.capacity_factor
+        return max(1, min(int(routed), 4 << 20))
+
+    def _expert_exchange(self, phase, pp_index, dp_index, tp_index, microbatch,
+                         count):
+        """The dispatch + combine all-to-all pair of one expert invocation."""
+        group = self.dp_group(pp_index, tp_index)
+        return [
+            CollectiveItem(
+                key=(f"ep-{phase}-{direction}", pp_index, tp_index, microbatch),
+                kind=CollectiveKind.ALL_TO_ALL,
+                count=count,
+                group_ranks=group,
+            )
+            for direction in ("dispatch", "combine")
+        ]
+
+    def iteration_schedule(self, rank):
+        """The dense schedule plus expert-parallel all-to-all exchanges.
+
+        With ``dp == 1`` there is a single expert shard and no exchange; the
+        schedule degenerates to the dense plan with hinted gradient
+        all-reduces (of which there are then none either).
+        """
+        pp_index, dp_index, tp_index = self.coordinates(rank)
+        stage = self.stage_layers(pp_index)
+        activation_count = max(
+            1, int(self.microbatch_size * max(layer.activation_count for layer in stage))
+        ) if stage else self.microbatch_size
+        tokens = self.expert_tokens(min(activation_count, 8 << 20))
+
+        schedule = []
+        for item in super().iteration_schedule(rank):
+            if isinstance(item, CollectiveItem) and item.key[0] == "dp-grad":
+                item = replace(item, algorithm=self.dp_algorithm)
+            schedule.append(item)
+            if self.dp < 2 or not isinstance(item, ComputeItem):
+                continue
+            label = item.label
+            if label.startswith("fwd-mb"):
+                microbatch = int(label[len("fwd-mb"):])
+                schedule.extend(self._expert_exchange(
+                    "fwd", pp_index, dp_index, tp_index, microbatch, tokens))
+            elif label.startswith("bwd-mb") and label.endswith("-b0"):
+                microbatch = int(label[len("bwd-mb"):-len("-b0")])
+                schedule.extend(self._expert_exchange(
+                    "bwd", pp_index, dp_index, tp_index, microbatch, tokens))
+        return schedule
 
 
 def _stage_buckets(model, stage_layers, grad_buckets):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.types import CollectiveKind
 from repro.orchestration import (
     BytePSOrchestrator,
     HorovodOrchestrator,
@@ -13,8 +14,10 @@ from repro.orchestration import (
 from repro.workloads import (
     CollectiveItem,
     ComputeItem,
+    MoeParallelPlan,
     ParallelPlan,
     gpt2_model,
+    gpt_moe_model,
     resnet50_model,
     vit_model,
 )
@@ -161,3 +164,59 @@ class TestParallelPlan:
     def test_invalid_parallel_sizes_rejected(self):
         with pytest.raises(Exception):
             ParallelPlan(vit_model(), tp=0)
+
+
+class TestMoeWorkload:
+
+    def test_moe_model_has_expert_parameters(self):
+        dense = gpt2_model("small")
+        moe = gpt_moe_model("small", num_experts=8)
+        assert moe.param_count > dense.param_count
+        assert "8e" in moe.name
+
+    def test_invalid_expert_config_rejected(self):
+        with pytest.raises(Exception):
+            gpt_moe_model("small", num_experts=4, top_k=5)
+        with pytest.raises(Exception):
+            MoeParallelPlan(gpt_moe_model(), num_experts=0)
+
+    def test_schedule_interleaves_dispatch_and_combine(self):
+        plan = MoeParallelPlan(gpt_moe_model("small"), dp=4, microbatch_size=4,
+                               num_microbatches=2, grad_buckets=4)
+        schedule = plan.iteration_schedule(0)
+        a2a = [item for item in schedule
+               if isinstance(item, CollectiveItem)
+               and item.kind is CollectiveKind.ALL_TO_ALL]
+        # dispatch + combine, forward and backward, per microbatch.
+        assert len(a2a) == 4 * plan.num_microbatches
+        phases = {item.key[0] for item in a2a}
+        assert phases == {"ep-fwd-dispatch", "ep-fwd-combine",
+                          "ep-bwd-dispatch", "ep-bwd-combine"}
+        for item in a2a:
+            assert item.group_ranks == plan.dp_group(0, 0)
+            assert item.algorithm is None
+
+    def test_dp_gradient_allreduces_carry_hierarchical_hint(self):
+        plan = MoeParallelPlan(gpt_moe_model("small"), dp=4, microbatch_size=4,
+                               grad_buckets=4)
+        grads = [item for item in plan.iteration_schedule(0)
+                 if isinstance(item, CollectiveItem)
+                 and item.key[0] == "dp-grad"]
+        assert grads
+        assert all(item.algorithm == "hierarchical" for item in grads)
+
+    def test_single_shard_degenerates_to_dense_schedule(self):
+        moe = MoeParallelPlan(gpt_moe_model("small"), dp=1, microbatch_size=4)
+        assert not any(
+            isinstance(item, CollectiveItem)
+            and item.kind is CollectiveKind.ALL_TO_ALL
+            for item in moe.iteration_schedule(0)
+        )
+
+    def test_group_members_generate_identical_exchange_keys(self):
+        plan = MoeParallelPlan(gpt_moe_model("small"), dp=2, tp=2,
+                               microbatch_size=4, grad_buckets=4)
+        for item in plan.collective_items(0):
+            for member in item.group_ranks:
+                member_keys = {other.key for other in plan.collective_items(member)}
+                assert item.key in member_keys

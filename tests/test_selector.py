@@ -106,3 +106,53 @@ class TestSimulatedCrossover:
             assert row["auto_algorithm"] == row["winner"]
             assert row["auto_latency_us"] == pytest.approx(
                 min(row["ring_latency_us"], row["tree_latency_us"]), rel=0.05)
+
+
+def fat_tree_selector(num_gpus=512):
+    cluster = build_cluster(f"fat-tree-{num_gpus}")
+    device_ids = [device.device_id for device in cluster.devices]
+    return AlgorithmSelector(cluster.interconnect), device_ids
+
+
+class TestHierarchicalSelection:
+    def test_fat_tree_large_messages_pick_hierarchical(self):
+        """512 ranks over 64 nodes: hierarchical beats flat ring and tree at 1 MiB."""
+        selector, device_ids = fat_tree_selector()
+        choice = selector.choose(CollectiveKind.ALL_REDUCE, 1 << 20,
+                                 len(device_ids), device_ids)
+        assert choice.algorithm == "hierarchical"
+        assert choice.hierarchical_cost_us < choice.tree_cost_us
+        assert choice.hierarchical_cost_us < choice.ring_cost_us
+
+    def test_fat_tree_small_messages_still_pick_tree(self):
+        selector, device_ids = fat_tree_selector()
+        choice = selector.choose(CollectiveKind.ALL_REDUCE, 4 << 10,
+                                 len(device_ids), device_ids)
+        assert choice.algorithm == "tree"
+        assert choice.tree_cost_us < choice.hierarchical_cost_us
+
+    def test_two_island_groups_exclude_hierarchical_from_auto(self):
+        """Dual-server (k=2) stays on the calibrated ring/tree estimates."""
+        selector, device_ids = dual_server_selector()
+        choice = selector.choose(CollectiveKind.ALL_REDUCE, 1 << 20, 16, device_ids)
+        assert choice.algorithm in ("ring", "tree")
+        assert choice.hierarchical_cost_us == float("inf")
+
+    def test_hierarchical_structure_requires_equal_contiguous_islands(self):
+        selector, device_ids = fat_tree_selector(64)
+        structure = selector.hierarchical_structure(device_ids)
+        assert structure is not None
+        island_size, islands = structure[0], structure[1]
+        assert island_size == 8 and islands == 8
+        # A node-interleaved rank order has no contiguous island
+        # decomposition (node pattern 0,1,0,1,... instead of 0,0,...,1,1,...).
+        interleaved = [device_ids[rank % 8 * 8 + rank // 8] for rank in range(64)]
+        assert selector.hierarchical_structure(interleaved) is None
+
+    def test_resolve_accepts_hierarchical(self):
+        selector, _ = dual_server_selector()
+        assert selector.resolve("hierarchical", CollectiveKind.ALL_REDUCE,
+                                512, 16) == "hierarchical"
+
+    def test_config_accepts_hierarchical(self):
+        DfcclConfig(algorithm="hierarchical").validate()

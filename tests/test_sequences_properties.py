@@ -20,6 +20,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.types import CollectiveKind
 from repro.collectives.sequences import (
+    ALGORITHM_HIERARCHICAL,
     ALGORITHM_RING,
     ALGORITHM_TREE,
     TREE_KINDS,
@@ -31,6 +32,7 @@ KINDS = [
     CollectiveKind.ALL_REDUCE,
     CollectiveKind.ALL_GATHER,
     CollectiveKind.REDUCE_SCATTER,
+    CollectiveKind.ALL_TO_ALL,
     CollectiveKind.BROADCAST,
     CollectiveKind.REDUCE,
 ]
@@ -40,6 +42,7 @@ WIRE_FACTOR = {
     CollectiveKind.ALL_REDUCE: 2,
     CollectiveKind.ALL_GATHER: 1,
     CollectiveKind.REDUCE_SCATTER: 1,
+    CollectiveKind.ALL_TO_ALL: 1,
     CollectiveKind.BROADCAST: 1,
     CollectiveKind.REDUCE: 1,
 }
@@ -107,6 +110,7 @@ def test_total_wire_bytes_match_algebraic_cost(kind, group_size, nbytes,
         CollectiveKind.ALL_REDUCE,
         CollectiveKind.ALL_GATHER,
         CollectiveKind.REDUCE_SCATTER,
+        CollectiveKind.ALL_TO_ALL,
     )
     loop_total = sum(chunk_loops(nbytes, group_size, chunk_bytes,
                                  per_rank_slices=sliced))
@@ -122,9 +126,9 @@ def test_total_wire_bytes_match_algebraic_cost(kind, group_size, nbytes,
 @settings(max_examples=80, deadline=None)
 @given(group_size=group_sizes, nbytes=payloads, chunk_bytes=chunks)
 def test_symmetric_collectives_balance_per_rank(group_size, nbytes, chunk_bytes):
-    """Ring all-reduce/all-gather/reduce-scatter: each rank sends == receives."""
+    """Symmetric collectives: each rank sends exactly what it receives."""
     for kind in (CollectiveKind.ALL_REDUCE, CollectiveKind.ALL_GATHER,
-                 CollectiveKind.REDUCE_SCATTER):
+                 CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALL_TO_ALL):
         sequences = _sequences(kind, group_size, nbytes, chunk_bytes, 0,
                                ALGORITHM_RING)
         for rank, sequence in sequences.items():
@@ -156,3 +160,93 @@ def test_rooted_collectives_source_and_sink(group_size, nbytes, chunk_bytes, roo
             else:
                 # Interior chain ranks forward; the chain end nets the data.
                 assert sent - received in (0, -net_at_root * loop_total)
+
+
+# -- hierarchical all-reduce ---------------------------------------------------
+
+island_sizes = st.integers(min_value=2, max_value=6)
+island_counts = st.integers(min_value=2, max_value=6)
+
+
+def _hierarchical_sequences(island_size, islands, nbytes, chunk_bytes):
+    group_size = island_size * islands
+    return group_size, {
+        rank: generate_primitive_sequence(
+            CollectiveKind.ALL_REDUCE, rank, group_size, nbytes,
+            chunk_bytes=chunk_bytes, algorithm=ALGORITHM_HIERARCHICAL,
+            island_size=island_size,
+        )
+        for rank in range(group_size)
+    }
+
+
+@settings(max_examples=100, deadline=None)
+@given(island_size=island_sizes, islands=island_counts, nbytes=payloads,
+       chunk_bytes=chunks)
+def test_hierarchical_all_reduce_flow_conservation(island_size, islands,
+                                                   nbytes, chunk_bytes):
+    """Two-level all-reduce: every byte sent i->j is received j<-i."""
+    _, sequences = _hierarchical_sequences(island_size, islands, nbytes,
+                                           chunk_bytes)
+    sends, recvs = _flows(sequences)
+    assert set(sends) == set(recvs)
+    for pair, sent in sends.items():
+        assert sorted(sent) == sorted(recvs[pair]), f"flow mismatch on {pair}"
+
+
+@settings(max_examples=100, deadline=None)
+@given(island_size=island_sizes, islands=island_counts, nbytes=payloads,
+       chunk_bytes=chunks)
+def test_hierarchical_all_reduce_wire_totals_match_flat_ring(
+        island_size, islands, nbytes, chunk_bytes):
+    """The two-level schedule moves exactly the flat ring's byte volume.
+
+    Per rank: ``2(m-1)`` intra-island slabs of ``k`` slices plus ``2(k-1)``
+    inter-island slices equals ``2(n-1)`` slices — the textbook
+    bandwidth-optimal all-reduce total.  Only the link placement differs.
+    """
+    group_size, sequences = _hierarchical_sequences(island_size, islands,
+                                                    nbytes, chunk_bytes)
+    loop_total = sum(chunk_loops(nbytes, group_size, chunk_bytes,
+                                 per_rank_slices=True))
+    for rank, sequence in sequences.items():
+        sent = sum(p.nbytes for p in sequence
+                   if p.sends and p.send_peer is not None)
+        received = sum(p.nbytes for p in sequence
+                       if p.recvs and p.recv_peer is not None)
+        assert sent == received, f"rank {rank} imbalance"
+        assert sent == 2 * (group_size - 1) * loop_total
+
+
+@settings(max_examples=60, deadline=None)
+@given(island_size=island_sizes, islands=island_counts, nbytes=payloads,
+       chunk_bytes=chunks)
+def test_hierarchical_peers_stay_in_tier(island_size, islands, nbytes,
+                                         chunk_bytes):
+    """Slab-sized steps stay inside an island; slice steps cross islands.
+
+    This is the schedule's entire point: only the ``2(k-1)`` single-slice
+    steps may touch inter-island links.
+    """
+    group_size, sequences = _hierarchical_sequences(island_size, islands,
+                                                    nbytes, chunk_bytes)
+    nloops = len(chunk_loops(nbytes, group_size, chunk_bytes,
+                             per_rank_slices=True))
+    for rank, sequence in sequences.items():
+        island = rank // island_size
+        crossing_sends = 0
+        intra_sends = 0
+        for primitive in sequence:
+            if primitive.sends and primitive.send_peer is not None:
+                if primitive.send_peer // island_size == island:
+                    intra_sends += 1
+                else:
+                    crossing_sends += 1
+            for peer in (primitive.send_peer, primitive.recv_peer):
+                if peer is not None and peer // island_size != island:
+                    assert peer % island_size == rank % island_size, (
+                        f"inter-island step not between position peers: "
+                        f"{rank}->{peer}"
+                    )
+        assert crossing_sends == 2 * (islands - 1) * nloops
+        assert intra_sends == 2 * (island_size - 1) * nloops
