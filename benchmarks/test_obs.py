@@ -1,0 +1,63 @@
+"""Observability suite: traced 64-rank metrics snapshot + overhead gate.
+
+Two deliverables, both archived by the CI obs-smoke job:
+
+* ``BENCH_obs.json`` — the metrics snapshot and calibration table of a traced
+  64-rank all-reduce (the flight recorder and span tracer running always-on,
+  exactly as every user run has them);
+* the **overhead gate** — always-on flight recording must cost less than 10%
+  steps/sec against an untraced run of the same workload
+  (``run_scale_point(observe=False)``, the disabled-Observability control
+  arm).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import run_scale_point
+
+pytestmark = pytest.mark.timeout(900)
+
+OBS_REPORT_PATH = os.environ.get("BENCH_OBS_PATH", "BENCH_obs.json")
+
+_POINT = {"ranks": 64, "topology": "flat", "algorithm": "ring"}
+
+
+def test_traced_64_rank_snapshot_writes_report():
+    """A traced 64-rank all-reduce lands its metrics in BENCH_obs.json."""
+    row = run_scale_point(**_POINT, collect_metrics=True)
+    assert row["completed"]
+    assert row["observed"]
+    metrics = row["metrics"]
+    assert metrics["engine_steps"] == row["steps"]
+    assert metrics["collective_invocations"] == row["iterations"]
+    assert metrics["daemon_launches"] >= 64
+    assert any(key.startswith("link_bytes_total") for key in metrics)
+    assert row["calibration"], "calibration samples expected on a traced run"
+
+    with open(OBS_REPORT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(row, handle, indent=2, sort_keys=True, default=str)
+    written = json.load(open(OBS_REPORT_PATH, encoding="utf-8"))
+    assert written["metrics"]["engine_steps"] > 0
+    assert written["calibration"]
+
+
+def test_flight_recorder_overhead_under_10_percent():
+    """Always-on recording costs <10% steps/sec vs the untraced control arm."""
+    traced = max((run_scale_point(**_POINT) for _ in range(3)),
+                 key=lambda row: row["steps_per_sec"])
+    untraced = max((run_scale_point(**_POINT, observe=False)
+                    for _ in range(3)),
+                   key=lambda row: row["steps_per_sec"])
+    assert traced["completed"] and untraced["completed"]
+    assert traced["observed"] and not untraced["observed"]
+    # Identical workload physics: tracing must not change the simulation.
+    assert traced["virtual_time_us"] == untraced["virtual_time_us"]
+    assert traced["steps"] == untraced["steps"]
+    ratio = traced["steps_per_sec"] / untraced["steps_per_sec"]
+    print(f"\nflight-recorder overhead: traced "
+          f"{traced['steps_per_sec']:.0f} steps/s vs untraced "
+          f"{untraced['steps_per_sec']:.0f} steps/s ({(1 - ratio):+.1%})")
+    assert traced["steps_per_sec"] >= 0.9 * untraced["steps_per_sec"]

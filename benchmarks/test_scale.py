@@ -19,7 +19,6 @@ from repro.bench import (
     PRE_PR_BASELINE,
     machine_calibration_factor,
     run_scale_point,
-    scale_sweep,
     speedup_vs_pre_pr,
     write_scale_report,
 )
@@ -57,11 +56,24 @@ def test_scale_sweep_writes_report(benchmark):
     assert (selector["predicted_hierarchical_cost_us"]
             < min(selector["predicted_ring_cost_us"],
                   selector["predicted_tree_cost_us"]))
+    # Cost-model calibration: every ladder point contributes a predicted vs
+    # measured row, covering 64 ranks and the full 512-rank algorithm trio.
+    calibration = report["selector_calibration"]
+    cal_ranks = {point["ranks"] for point in calibration["points"]}
+    assert {64, 512} <= cal_ranks
+    assert {point["algorithm"] for point in calibration["points"]
+            if point["ranks"] == 512} == {"ring", "tree", "hierarchical"}
+    for point in calibration["points"]:
+        assert point["predicted_cost_us"] > 0.0
+        assert point["measured_cost_us"] > 0.0
+        assert point["relative_error"] is not None
+    assert calibration["worst_relative_error"] is not None
     # Sanity on the artifact: parse it back and find the 64-rank speedup.
     with open(SCALE_REPORT_PATH, encoding="utf-8") as fh:
         written = json.load(fh)
     sixty_four = [row for row in written["points"] if row["ranks"] == 64][0]
     assert sixty_four["speedup_vs_pre_pr"] >= 3.0
+    assert written["selector_calibration"]["points"]
 
 
 def test_64_rank_speedup_over_pre_pr_engine():

@@ -15,8 +15,9 @@ story end to end:
   trades co-location for locality;
 * a fault plan crashes a leased rank mid-run: jobs leasing it finish
   *degraded* through per-job recovery while other tenants are untouched;
-* the engine trace is exported as Chrome-trace JSON so the interleaving of
-  both jobs' kernels on each GPU can be inspected in chrome://tracing.
+* the always-on flight recorder is exported as Chrome-trace JSON — one track
+  per engine actor plus per-job span tracks — so the interleaving of both
+  jobs' kernels on each GPU can be inspected in chrome://tracing.
 
 Run with:  python examples/multi_tenant_cluster.py
 """
@@ -28,7 +29,7 @@ from repro.bench import (
     run_multijob,
 )
 from repro.bench.multijob_experiments import default_job_stream
-from repro.core import write_chrome_trace
+from repro.obs import write_chrome_trace
 
 SEED = 11
 
@@ -41,10 +42,9 @@ def main():
     print(format_table(rows, title="JobSpec stream (seed %d)" % SEED))
 
     print("\n=== Headline: packed co-location, NCCL vs DFCCL ===\n")
-    trace = []
     nccl = run_multijob(backend="nccl", policy="packed", seed=SEED, num_jobs=4)
     dfccl = run_multijob(backend="dfccl", policy="packed", seed=SEED,
-                         num_jobs=4, trace=trace)
+                         num_jobs=4)
     print(f"NCCL baseline : engine deadlock={nccl['engine_deadlock']}, "
           f"{nccl['summary']['completed']}/{nccl['summary']['jobs']} jobs done, "
           f"cross-tenant block waits={nccl['contention']['cross_tenant_block_waits']}")
@@ -53,7 +53,7 @@ def main():
           f"pool={dfccl['pool']}")
 
     trace_path = "multijob_trace.json"
-    events = write_chrome_trace(trace, trace_path)
+    events = write_chrome_trace(dfccl["obs"], trace_path)
     print(f"\nwrote {events} Chrome-trace events to {trace_path} "
           "(open in chrome://tracing)")
 

@@ -16,6 +16,7 @@ import statistics
 
 from repro.common.errors import ConfigurationError, InvalidStateError
 from repro.core import DfcclBackend, DfcclConfig
+from repro.obs import record_link_metrics
 from repro.api.backend import CollectiveBackend, register_backend
 from repro.api.work import CompletionInfo, Work
 
@@ -119,6 +120,33 @@ class DfcclCollectiveBackend(CollectiveBackend):
         self.job = job
         self._collectives = {}
         self._registered_ids = []
+        obs = cluster.engine.obs
+        if self.owns_backend and obs.enabled:
+            registry = obs.metrics
+            registry.gauge_fn("pool_hits",
+                              lambda: self.dfccl.pool.stats()["hits"])
+            registry.gauge_fn("pool_misses",
+                              lambda: self.dfccl.pool.stats()["misses"])
+            registry.gauge_fn("pool_created",
+                              lambda: self.dfccl.pool.stats()["created"])
+            registry.gauge_fn("pool_reused",
+                              lambda: self.dfccl.pool.stats()["reused"])
+            registry.gauge_fn("pool_active",
+                              lambda: self.dfccl.pool.stats()["active"])
+            registry.gauge_fn("daemon_launches",
+                              lambda: self._daemon_total("launches"))
+            registry.gauge_fn("daemon_preemptions",
+                              lambda: self._daemon_total("preemptions"))
+            registry.gauge_fn("daemon_voluntary_quits",
+                              lambda: self._daemon_total("voluntary_quits"))
+            registry.gauge_fn("daemon_spin_polls",
+                              lambda: self._daemon_total("spin_polls"))
+            registry.gauge_fn("daemon_primitives_executed",
+                              lambda: self._daemon_total("primitives_executed"))
+
+    def _daemon_total(self, field):
+        return sum(getattr(stats, field)
+                   for stats in self.dfccl.all_stats().values())
 
     # -- registration ----------------------------------------------------------
 
@@ -228,6 +256,12 @@ class DfcclCollectiveBackend(CollectiveBackend):
                     for event in stats.events
                 ],
             }
+        obs = self.cluster.engine.obs
+        if obs.enabled:
+            record_link_metrics(
+                obs.metrics,
+                [coll.communicator for coll in self.dfccl._collectives.values()])
+            diag["metrics"] = obs.metrics.snapshot()
         return diag
 
     def perf_report(self, group, works_by_rank):
@@ -247,6 +281,9 @@ class DfcclCollectiveBackend(CollectiveBackend):
             "latency_us": statistics.fmean(latencies),
             "core_time_us": (stats.execute_time_us + stats.preparing_time_us) / completed,
             "preemptions": stats.preemptions,
+            "predicted_cost_us": statistics.fmean(
+                work.invocation.coll.predicted_cost_us for work in works
+            ),
         }
 
 

@@ -92,6 +92,23 @@ class MpiWork(Work):
         """Record completion at ``time_us`` and fire the callback."""
         if self.rank not in self.coll.complete_times:
             self.coll.complete_times[self.rank] = time_us
+            obs = self.group.backend.cluster.engine.obs
+            if obs.enabled:
+                coll = self.coll
+                obs.tracer.record(
+                    f"mpi-op{coll.op_id}-{coll.spec.kind.value}",
+                    "collective",
+                    coll.submit_times.get(self.rank, time_us), time_us,
+                    track=f"rank{self.rank}", job=self.group.job,
+                    attrs={"algorithm": "host-staged-ring",
+                           "predicted_cost_us": coll.duration_us})
+                if len(coll.complete_times) == len(coll.ranks):
+                    measured = (max(coll.complete_times.values())
+                                - min(coll.submit_times.values()))
+                    obs.record_collective(
+                        "mpi", "host-staged-ring", coll.spec.kind.value,
+                        coll.spec.nbytes, len(coll.ranks), measured,
+                        predicted_us=coll.duration_us)
             if self.callback is not None:
                 self.callback(self)
 
@@ -137,6 +154,39 @@ class MpiCollectiveBackend(CollectiveBackend):
             model = CudaAwareMpiModel(**kwargs)
         self.model = model
         self._collectives = {}
+        obs = cluster.engine.obs
+        if obs.enabled:
+            registry = obs.metrics
+            registry.gauge_fn("mpi_host_staged_ops",
+                              lambda: len(self._collectives))
+            registry.gauge_fn("mpi_rendezvous_completed",
+                              lambda: self._rendezvous_completed())
+            registry.gauge_fn("mpi_rendezvous_pending",
+                              lambda: (len(self._collectives)
+                                       - self._rendezvous_completed()))
+
+    def _rendezvous_completed(self):
+        return sum(1 for coll in self._collectives.values()
+                   if len(coll.complete_times) == len(coll.ranks))
+
+    def diagnostics(self):
+        """Host-staged op and rendezvous counters, plus the metrics snapshot.
+
+        Overrides the empty :class:`CollectiveBackend` default so the
+        cross-backend parity suite can assert all three backends report
+        diagnostics.
+        """
+        completed = self._rendezvous_completed()
+        diag = {
+            "backend": "mpi",
+            "host_staged_ops": len(self._collectives),
+            "rendezvous_completed": completed,
+            "rendezvous_pending": len(self._collectives) - completed,
+        }
+        obs = self.cluster.engine.obs
+        if obs.enabled:
+            diag["metrics"] = obs.metrics.snapshot()
+        return diag
 
     def create_work(self, group, spec, key, index, rank, callback=None, stream=None):
         """Join the analytic rendezvous of invocation ``index``."""
@@ -163,6 +213,9 @@ class MpiCollectiveBackend(CollectiveBackend):
                 work.coll.duration_us for work in works_by_rank[first]
             ),
             "preemptions": 0,
+            "predicted_cost_us": statistics.fmean(
+                work.coll.duration_us for work in works_by_rank[first]
+            ),
         }
 
 

@@ -20,6 +20,7 @@ import statistics
 
 from repro.ncclsim import NcclBackend
 from repro.ncclsim.program import launch_collective, wait_collective
+from repro.obs import record_link_metrics
 from repro.api.backend import (
     CollectiveBackend,
     register_backend,
@@ -142,8 +143,14 @@ class NcclCollectiveBackend(CollectiveBackend):
     # -- reporting -----------------------------------------------------------------
 
     def diagnostics(self):
-        """Communicator counts for conformance reports."""
-        return {"communicators": len(self.nccl.communicators)}
+        """Communicator counts plus the metrics-registry snapshot."""
+        diag = {"communicators": len(self.nccl.communicators)}
+        obs = self.cluster.engine.obs
+        if obs.enabled:
+            record_link_metrics(
+                obs.metrics, [op.communicator for op in self._ops.values()])
+            diag["metrics"] = obs.metrics.snapshot()
+        return diag
 
     def perf_report(self, group, works_by_rank):
         """Latency/occupancy summary of a finished benchmark run."""
@@ -168,6 +175,9 @@ class NcclCollectiveBackend(CollectiveBackend):
             "latency_us": statistics.fmean(latencies),
             "core_time_us": statistics.fmean(cores),
             "preemptions": 0,
+            "predicted_cost_us": statistics.fmean(
+                work.op.predicted_cost_us for work in works_by_rank[first]
+            ),
         }
 
 

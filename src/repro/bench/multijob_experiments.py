@@ -65,7 +65,9 @@ def run_multijob(backend="dfccl", policy="packed", topology="dual-3090",
     ablation (tenant counters only), or a custom model instance.
 
     Returns ``{"backend", "policy", "seed", "summary", "jobs", "events",
-    "engine_deadlock", "contention", "pool"}``.  ``summary["deadlock_ratio"]``
+    "engine_deadlock", "contention", "pool", "obs"}``.  ``obs`` is the
+    cluster's :class:`~repro.obs.Observability` hub — spans, metrics and the
+    flight recorder of the finished run.  ``summary["deadlock_ratio"]``
     counts placed-but-stuck jobs only when the engine actually recorded a
     deadlock; deadline cutoffs and never-placed jobs are reported separately.
     """
@@ -118,6 +120,7 @@ def run_multijob(backend="dfccl", policy="packed", topology="dual-3090",
         "events": list(scheduler.events),
         "engine_deadlock": engine_deadlock,
         "contention": contention,
+        "obs": cluster.engine.obs,
     }
     diagnostics = runner.backend.diagnostics()
     if "pool" in diagnostics:

@@ -103,15 +103,24 @@ def _cluster_spec_for(ranks, topology):
 
 
 def run_scale_point(ranks, topology="flat", algorithm="ring", nbytes=1 << 20,
-                    iterations=2, backend="dfccl", chunk_bytes=128 << 10):
+                    iterations=2, backend="dfccl", chunk_bytes=128 << 10,
+                    observe=True, collect_metrics=False):
     """Run one N-rank all-reduce workload; return the measured row.
 
     GC is collected once and disabled across the measured region (standard
     steady-state benchmarking discipline; collector pauses would otherwise
     dominate run-to-run variance), and re-enabled before returning.
+
+    ``observe=False`` runs with a disabled :class:`~repro.obs.Observability`
+    hub — the control arm of the flight-recorder overhead gate.  With
+    ``collect_metrics=True`` the row additionally carries the full metrics
+    snapshot (always-on rows carry only the calibration samples).
     """
+    from repro.obs import Observability
+
     spec = _cluster_spec_for(ranks, topology)
-    cluster = build_cluster(spec)
+    observability = None if observe else Observability(enabled=False)
+    cluster = build_cluster(spec, observability=observability)
     api_backend = make_backend(backend, cluster, chunk_bytes=chunk_bytes,
                                algorithm=algorithm)
     group = api_backend.new_group(list(range(ranks)))
@@ -142,7 +151,7 @@ def run_scale_point(ranks, topology="flat", algorithm="ring", nbytes=1 << 20,
     completed = all(work.done for works in works_by_rank.values()
                     for work in works)
     steps = cluster.engine.step_count
-    return {
+    row = {
         "ranks": ranks,
         "topology": topology if isinstance(topology, str) else "custom",
         "backend": backend,
@@ -155,7 +164,15 @@ def run_scale_point(ranks, topology="flat", algorithm="ring", nbytes=1 << 20,
         "steps_per_sec": steps / wall_s if wall_s > 0 else float("inf"),
         "virtual_time_us": final_time_us,
         "queue_stats": cluster.engine.queue_stats(),
+        "observed": cluster.engine.obs.enabled,
     }
+    obs = cluster.engine.obs
+    if obs.enabled:
+        row["calibration"] = obs.calibration_report()
+        if collect_metrics:
+            api_backend.diagnostics()  # folds link metrics into the registry
+            row["metrics"] = obs.metrics.snapshot()
+    return row
 
 
 def best_of(point_kwargs, repeats=3):
@@ -207,6 +224,38 @@ def selector_report(ranks=512, nbytes=1 << 20):
     }
 
 
+def selector_calibration_section(rows):
+    """Aggregate per-point cost-model error into the report section.
+
+    Each measured row carries the run's calibration samples (predicted
+    selector cost vs measured virtual time per completed collective); this
+    flattens them into one table keyed by (ranks, topology, algorithm) and
+    records the worst absolute relative error across the ladder.
+    """
+    points = []
+    for row in rows:
+        for sample in row.get("calibration", ()):
+            points.append({
+                "ranks": row["ranks"],
+                "topology": row["topology"],
+                "backend": sample["backend"],
+                "algorithm": sample["algorithm"],
+                "kind": sample["kind"],
+                "nbytes": sample["nbytes"],
+                "group_size": sample["group_size"],
+                "samples": sample["samples"],
+                "predicted_cost_us": sample["predicted_cost_us"],
+                "measured_cost_us": sample["measured_cost_us"],
+                "relative_error": sample["relative_error"],
+            })
+    errors = [abs(point["relative_error"]) for point in points
+              if point["relative_error"] is not None]
+    return {
+        "points": points,
+        "worst_relative_error": max(errors) if errors else None,
+    }
+
+
 def scale_sweep(points=SCALE_SWEEP_POINTS, repeats=2, nbytes=1 << 20,
                 iterations=2):
     """Run the standard ladder; returns rows plus the 64-rank speedup."""
@@ -227,6 +276,7 @@ def scale_sweep(points=SCALE_SWEEP_POINTS, repeats=2, nbytes=1 << 20,
         "calibration_ops_per_sec": calibration,
         "pre_pr_baseline": dict(PRE_PR_BASELINE),
         "selector_512": selector_report(nbytes=nbytes),
+        "selector_calibration": selector_calibration_section(rows),
         "points": rows,
     }
 

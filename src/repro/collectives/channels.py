@@ -71,6 +71,7 @@ class Channel:
         self._free = []
         self.pushed_count = 0
         self.popped_count = 0
+        self.bytes_pushed = 0
         self.invalidated = False
         _channels_by_id[self.channel_id] = self
         # Wait keys are prebuilt: the executor touches them on every primitive
@@ -113,6 +114,7 @@ class Channel:
             )
         self._fifo.append(message)
         self.pushed_count += 1
+        self.bytes_pushed += message.nbytes
         return message
 
     # -- receiver side -----------------------------------------------------------

@@ -341,6 +341,7 @@ class PrimitiveExecutor:
                 )
             send_channel._fifo.append(message)
             send_channel.pushed_count += 1
+            send_channel.bytes_pushed += primitive.nbytes
             if engine is not None:
                 key = send_channel.readable_key
                 if key in engine.waiters_by_key or engine.trace is not None:

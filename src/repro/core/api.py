@@ -176,7 +176,7 @@ class RankContext:
             # daemon would only drop the entry later, and the group can never
             # re-form (recovery already decided the root's data is gone or
             # the recovery budget is spent).
-            invocation.mark_aborted(handle.group_rank)
+            invocation.mark_aborted(handle.group_rank, time_us=time_us)
             self.cluster.engine.signal(
                 invocation.completion_key(handle.group_rank), time_us)
             return
@@ -316,7 +316,7 @@ class RankContext:
         Idempotent; a part that already completed keeps its completion.
         """
         group_rank = self.group_rank_for(invocation.coll)
-        if not invocation.mark_aborted(group_rank):
+        if not invocation.mark_aborted(group_rank, time_us=time_us):
             return False
         if group_rank in invocation.submitted_ranks():
             # The submit charged an outstanding slot that no CQE will ever

@@ -8,16 +8,17 @@ The profiler estimates the expected peer skew from the link parameters and the
 collectives that will be registered, and picks an initial spin threshold and a
 voluntary-quit period near the Pareto knee.
 
-The module also exports engine traces in Chrome's trace-event format
-(``chrome://tracing`` / Perfetto): pass ``trace=[]`` to :class:`Engine` and
-hand the collected records to :func:`write_chrome_trace` to inspect how
-daemon kernels, host threads and — under the multi-tenant scheduler —
-concurrent jobs interleave on each GPU.
+The module's chrome-trace helpers are deprecated shims over
+:mod:`repro.obs.trace`: the engine now records step events always-on into a
+bounded flight recorder (``engine.obs.recorder``), and the span-aware
+exporter there replaces the unbounded ``Engine(trace=[...])`` list.  The
+shims keep the legacy list-of-tuples signature working for one release.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 
 from repro.common.types import LinkType
@@ -92,20 +93,16 @@ class AutoProfiler:
         return normalized + 1.0 / normalized
 
 
-# -- Chrome-trace export of engine events ------------------------------------------
+# -- Chrome-trace export of engine events (deprecated shims) ------------------------
+
+_DEPRECATION = (
+    "repro.core.profiler.{name} is deprecated: the engine records step events "
+    "always-on in the bounded flight recorder (engine.obs.recorder); export "
+    "with repro.obs.trace.chrome_trace_events / write_chrome_trace instead"
+)
 
 
-def chrome_trace_events(trace, process_name="repro-engine"):
-    """Convert engine trace records to Chrome trace-event JSON objects.
-
-    ``trace`` is the list collected by ``Engine(trace=[...])``: tuples of
-    ``(time_us, actor_name, status, detail)`` appended *after* each actor
-    step.  Each actor becomes one thread row; the span between an actor's
-    consecutive records becomes a complete ("X") event named by the work that
-    ended at the span's close, so concurrent jobs' kernels, hosts and daemons
-    line up visually.  Timestamps are virtual microseconds, which is exactly
-    the unit the trace-event format expects.
-    """
+def _trace_events(trace, process_name):
     by_actor = {}
     for time_us, actor, status, detail in trace:
         by_actor.setdefault(actor, []).append((float(time_us), status, detail))
@@ -136,13 +133,33 @@ def chrome_trace_events(trace, process_name="repro-engine"):
     return events
 
 
-def write_chrome_trace(trace, path, process_name="repro-engine"):
-    """Write an engine trace as a ``chrome://tracing`` JSON file.
+def chrome_trace_events(trace, process_name="repro-engine"):
+    """Convert legacy engine trace records to Chrome trace-event JSON objects.
 
-    Returns the number of events written.  ``path`` may be a filesystem path
-    or an open text file.
+    Deprecated: use :func:`repro.obs.trace.chrome_trace_events`, which reads
+    the always-on flight recorder and adds span/counter tracks.  ``trace`` is
+    the list collected by the deprecated ``Engine(trace=[...])``: tuples of
+    ``(time_us, actor_name, status, detail)`` appended *after* each actor
+    step.  Each actor becomes one thread row; the span between an actor's
+    consecutive records becomes a complete ("X") event named by the work that
+    ended at the span's close.  Timestamps are virtual microseconds, which is
+    exactly the unit the trace-event format expects.
     """
-    events = chrome_trace_events(trace, process_name=process_name)
+    warnings.warn(_DEPRECATION.format(name="chrome_trace_events"),
+                  DeprecationWarning, stacklevel=2)
+    return _trace_events(trace, process_name)
+
+
+def write_chrome_trace(trace, path, process_name="repro-engine"):
+    """Write a legacy engine trace as a ``chrome://tracing`` JSON file.
+
+    Deprecated: use :func:`repro.obs.trace.write_chrome_trace`.  Returns the
+    number of events written.  ``path`` may be a filesystem path or an open
+    text file.
+    """
+    warnings.warn(_DEPRECATION.format(name="write_chrome_trace"),
+                  DeprecationWarning, stacklevel=2)
+    events = _trace_events(trace, process_name)
     document = {"traceEvents": events, "displayTimeUnit": "ms"}
     if hasattr(path, "write"):
         json.dump(document, path)

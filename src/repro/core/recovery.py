@@ -166,6 +166,11 @@ class RecoveryManager(Actor):
         """
         coll.abandoned = True
         self.stats.abandoned += 1
+        obs = self._obs()
+        if obs is not None:
+            obs.metrics.counter("recovery_abandoned").inc()
+            obs.tracer.event(f"abandon:{coll.name}", "recovery", now,
+                             attrs={"coll_id": str(coll.coll_id)})
         for invocation in coll.invocations:
             for rank in sorted(invocation.expected_ranks()):
                 if coll.devices[rank].failed:
@@ -253,3 +258,23 @@ class RecoveryManager(Actor):
             detection_latency_us=detection_latency,
             generation=coll.generation,
         ))
+        obs = self._obs()
+        if obs is not None:
+            context = {
+                "coll_id": str(coll.coll_id),
+                "failed_ranks": sorted(failed_ranks),
+                "survivor_ranks": list(survivors),
+                "invocations_rerun": rerun_count,
+                "generation": coll.generation,
+            }
+            obs.metrics.counter("recovery_episodes").inc()
+            obs.metrics.counter("recovery_invocations_rerun").inc(rerun_count)
+            obs.tracer.record(
+                f"recovery:{coll.name}", "recovery",
+                now - detection_latency, now, track="recovery",
+                job=coll.job, attrs=dict(context))
+            obs.auto_dump("recovery", context=context)
+
+    def _obs(self):
+        obs = self.backend.cluster.engine.obs
+        return obs if obs.enabled else None

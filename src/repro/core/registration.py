@@ -41,6 +41,15 @@ class RegisteredCollective:
         )
         self._selector = AlgorithmSelector(interconnect, cost_model=config.cost_model)
         self.algorithm = self._resolve_algorithm(self.devices)
+        #: The selector's alpha-beta cost prediction for the resolved
+        #: algorithm — carried on every collective span and compared against
+        #: measured virtual time in the calibration report.
+        self.predicted_cost_us = self._predict_cost(self.devices)
+        #: The observability hub of the engine the participating devices run
+        #: on (``None`` when the devices are unregistered or obs is off).
+        engine = self.devices[0].engine if self.devices else None
+        obs = engine.obs if engine is not None else None
+        self.obs = obs if (obs is not None and obs.enabled) else None
         self.invocations = []
         self.run_counts = {}
         #: Elastic-recovery state: original group ranks excluded by failure,
@@ -54,6 +63,15 @@ class RegisteredCollective:
         # A per-collective spec hint overrides the backend-wide config knob.
         return self._selector.resolve(
             self.spec.algorithm or self.config.algorithm,
+            self.spec.kind,
+            self.spec.nbytes,
+            len(devices),
+            [device.device_id for device in devices],
+        )
+
+    def _predict_cost(self, devices):
+        return self._selector.predicted_cost_us(
+            self.algorithm,
             self.spec.kind,
             self.spec.nbytes,
             len(devices),
@@ -101,6 +119,7 @@ class RegisteredCollective:
         if survivors:
             self.communicator = pool.acquire(self.active_devices(), job=self.job)
             self.algorithm = self._resolve_algorithm(self.active_devices())
+            self.predicted_cost_us = self._predict_cost(self.active_devices())
         self.generation += 1
         return survivors
 
@@ -221,6 +240,8 @@ class Invocation:
         self._participants = None
         self._rerun_ranks = None
         self._rerun_communicator = None
+        #: Open per-rank submit->complete spans (when observability is on).
+        self._spans = {}
 
     # -- identity ----------------------------------------------------------------
 
@@ -295,6 +316,17 @@ class Invocation:
             )
         self._submitted_ranks.add(group_rank)
         self.submit_times[group_rank] = time_us
+        obs = self.coll.obs
+        if obs is not None:
+            global_ranks = getattr(self.coll, "global_ranks", None)
+            rank = (global_ranks[group_rank] if global_ranks is not None
+                    else group_rank)
+            self._spans[group_rank] = obs.tracer.begin(
+                self.coll.name, "collective", time_us,
+                track=f"rank{rank}", job=self.coll.job,
+                attrs={"invocation": self.index, "group_rank": group_rank,
+                       "algorithm": self.coll.algorithm,
+                       "predicted_cost_us": self.coll.predicted_cost_us})
 
     def mark_gpu_complete(self, group_rank, time_us):
         if group_rank in self._gpu_complete_ranks:
@@ -304,6 +336,18 @@ class Invocation:
         self._gpu_complete_ranks.add(group_rank)
         self.complete_times[group_rank] = time_us
         self.completion_signatures[group_rank] = self.participant_signature()
+        obs = self.coll.obs
+        if obs is not None:
+            span = self._spans.pop(group_rank, None)
+            if span is not None:
+                obs.tracer.end(span, time_us)
+            if self.fully_complete() and self.submit_times:
+                measured = (max(self.complete_times.values())
+                            - min(self.submit_times.values()))
+                obs.record_collective(
+                    "dfccl", self.coll.algorithm, self.coll.spec.kind.value,
+                    self.coll.spec.nbytes, len(self.expected_ranks()),
+                    measured, predicted_us=self.coll.predicted_cost_us)
 
     def mark_callback_fired(self, group_rank):
         self._callback_fired_ranks.add(group_rank)
@@ -318,7 +362,7 @@ class Invocation:
         """True once the rank's callback has run (the user-visible completion)."""
         return group_rank in self._callback_fired_ranks
 
-    def mark_aborted(self, group_rank):
+    def mark_aborted(self, group_rank, time_us=None):
         """Abort this rank's part (its collective was abandoned).
 
         No-op (returns ``False``) for a part that already completed or was
@@ -328,6 +372,13 @@ class Invocation:
                 or group_rank in self._aborted_ranks):
             return False
         self._aborted_ranks.add(group_rank)
+        obs = self.coll.obs
+        if obs is not None:
+            obs.metrics.counter("collective_aborts").inc()
+            span = self._spans.pop(group_rank, None)
+            if span is not None:
+                end = time_us if time_us is not None else span.start_us
+                obs.tracer.end(span, end, aborted=True)
         return True
 
     def is_aborted(self, group_rank):

@@ -242,6 +242,11 @@ class Cluster:
 
     # -- running ----------------------------------------------------------------
 
+    @property
+    def obs(self):
+        """The engine's observability hub (metrics / tracer / recorder)."""
+        return self.engine.obs
+
     def run(self, until_us=None):
         """Run the engine; returns the final virtual time."""
         return self.engine.run(until_us=until_us)
@@ -253,6 +258,7 @@ def build_cluster(
     max_resident_blocks=None,
     max_steps=50_000_000,
     interference=None,
+    observability=None,
 ):
     """Build one of the named paper testbeds.
 
@@ -283,6 +289,7 @@ def build_cluster(
         spec = fat_tree_spec(int(suffix))
     else:
         raise ConfigurationError(f"unknown cluster topology {topology!r}")
-    engine = Engine(deadlock_mode=deadlock_mode, max_steps=max_steps)
+    engine = Engine(deadlock_mode=deadlock_mode, max_steps=max_steps,
+                    observability=observability)
     return Cluster(spec, engine=engine, max_resident_blocks=max_resident_blocks,
                    interference=interference)

@@ -40,11 +40,13 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.common.errors import DeadlockError, SimulationError
 from repro.common.vtime import VirtualClock
+from repro.obs import Observability
 
 #: Entry kinds in the unified event queue.  Sleepers sort before ready actors
 #: at equal times: the old scheduler woke every due sleeper (converting it to
@@ -151,12 +153,25 @@ class Engine:
     #: How many recent signal keys to retain for debugging.
     SIGNAL_LOG_LIMIT = 4096
 
-    def __init__(self, deadlock_mode="raise", max_steps=50_000_000, trace=None):
+    def __init__(self, deadlock_mode="raise", max_steps=50_000_000, trace=None,
+                 observability=None):
         if deadlock_mode not in ("raise", "record"):
             raise ValueError(f"unknown deadlock_mode {deadlock_mode!r}")
         self.deadlock_mode = deadlock_mode
         self.max_steps = max_steps
+        if trace is not None:
+            warnings.warn(
+                "Engine(trace=[...]) is deprecated: the bounded flight "
+                "recorder (engine.obs.recorder) now records step events "
+                "always-on; export with repro.obs.trace.chrome_trace_events",
+                DeprecationWarning, stacklevel=2)
         self.trace = trace
+        #: The observability hub — always present; pass
+        #: ``Observability(enabled=False)`` to opt out of recording.
+        self.obs = observability if observability is not None else Observability()
+        #: Hot-loop alias: the flight-recorder event ring, or ``None`` when
+        #: observability is disabled (one branch per step either way).
+        self._event_ring = self.obs.recorder.ring if self.obs.enabled else None
         self._actors = []
         #: The unified event queue: a heap of ``[time, kind, seq, actor]``
         #: entries.  ``self._entries`` maps each schedulable actor to its one
@@ -182,6 +197,18 @@ class Engine:
         self._horizon = 0.0
         self.deadlock_report = None
         self._signal_log = deque(maxlen=self.SIGNAL_LOG_LIMIT)
+        self._signals = 0
+        if self.obs.enabled:
+            registry = self.obs.metrics
+            registry.gauge_fn("engine_steps", lambda: self._steps)
+            registry.gauge_fn("engine_queue_entries", lambda: len(self._queue))
+            registry.gauge_fn("engine_queue_live",
+                              lambda: len(self._queue) - self._stale)
+            registry.gauge_fn("engine_queue_stale", lambda: self._stale)
+            registry.gauge_fn("engine_queue_compactions",
+                              lambda: self._compactions)
+            registry.gauge_fn("engine_queue_ready", lambda: self._ready_count)
+            registry.gauge_fn("engine_signals", lambda: self._signals)
 
     # -- registration -------------------------------------------------------
 
@@ -291,7 +318,8 @@ class Engine:
         true; woken actors have their clocks advanced to at least that time,
         modelling the spin-wait they performed while blocked.
         """
-        if self.trace is not None:
+        self._signals += 1
+        if self._event_ring is not None:
             self._signal_log.append(key)
         waiters = self._waiters.pop(key, None)
         if not waiters:
@@ -337,6 +365,10 @@ class Engine:
         if time_us is not None:
             actor.clock.advance_to(time_us)
             self._observe_time(actor.now)
+        if self.obs.enabled:
+            self.obs.metrics.counter("engine_actors_killed").inc()
+            self.obs.recorder.record_event(actor.now, "fault",
+                                           f"killed:{actor.name}")
         self._discard_entry(actor)
         keys = self._blocked.pop(actor, ())
         for key in keys:
@@ -392,6 +424,12 @@ class Engine:
 
             result = actor.step()
             self._observe_time(actor.now)
+            ring = self._event_ring
+            if ring is not None:
+                # The flight recorder's entire hot-path cost: one bounded
+                # deque append per step.
+                ring.append((actor.now, actor.name, result.status.value,
+                             result.detail))
             if self.trace is not None:
                 self.trace.append((actor.now, actor.name, result.status.value, result.detail))
 
@@ -471,6 +509,15 @@ class Engine:
                 wait_graph={actor.name: list(self._blocked[actor]) for actor in blocked},
             )
             self.deadlock_report = report
+            if self.obs.enabled:
+                self.obs.metrics.counter("engine_deadlocks").inc()
+                self.obs.auto_dump("deadlock", context={
+                    "time_us": report.time_us,
+                    "blocked_actors": report.involved(),
+                    "wait_graph": {name: [repr(key) for key in keys]
+                                   for name, keys in
+                                   report.wait_graph.items()},
+                })
             if self.deadlock_mode == "raise":
                 raise DeadlockError(
                     f"deadlock at t={self.now:.2f}us: "

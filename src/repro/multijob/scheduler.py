@@ -80,10 +80,25 @@ class ClusterScheduler(Actor):
         self._started = False
         # Event log: (time_us, event, job_id) for trace inspection.
         self.events = []
+        #: Open job-lifecycle spans (placement -> finish), by job id.
+        self._job_spans = {}
 
     def on_registered(self, engine):
         super().on_registered(engine)
         engine.add_actor(_FailureWatch(self))
+        if engine.obs.enabled:
+            registry = engine.obs.metrics
+            registry.gauge_fn("jobs_admitted", lambda: len(self.jobs))
+            registry.gauge_fn("jobs_running",
+                              lambda: sum(1 for r in self.jobs.values()
+                                          if r.state is JobState.RUNNING))
+            registry.gauge_fn("jobs_completed",
+                              lambda: sum(1 for r in self.jobs.values()
+                                          if r.terminal))
+
+    def _obs(self):
+        obs = self.cluster.engine.obs
+        return obs if obs.enabled else None
 
     # -- wait keys -------------------------------------------------------------
 
@@ -153,6 +168,11 @@ class ClusterScheduler(Actor):
             record = JobRecord(spec=spec)
             self.jobs[spec.job_id] = record
             self.events.append((spec.arrival_time_us, "arrive", spec.job_id))
+            obs = self._obs()
+            if obs is not None:
+                obs.tracer.event(f"arrive:{spec.job_id}", "job",
+                                 spec.arrival_time_us,
+                                 attrs={"world_size": spec.world_size})
 
     def _queued_records(self):
         return sorted(
@@ -192,6 +212,13 @@ class ClusterScheduler(Actor):
         for rank in ranks:
             self.load[rank] += 1
         self.events.append((now, "place", record.job_id))
+        obs = self._obs()
+        if obs is not None:
+            self._job_spans[record.job_id] = obs.tracer.begin(
+                f"job:{record.job_id}", "job", now,
+                track="lifecycle", job=record.job_id,
+                attrs={"ranks": list(ranks),
+                       "priority": record.spec.priority})
 
         def on_rank_complete(rank, time_us, job_id=record.job_id):
             self.on_rank_done(job_id, rank, time_us)
@@ -226,6 +253,11 @@ class ClusterScheduler(Actor):
         # Recycle the job's backend state (pooled communicators etc.).
         self.runner.release(record)
         self.events.append((time_us, "finish", record.job_id))
+        obs = self._obs()
+        if obs is not None:
+            span = self._job_spans.pop(record.job_id, None)
+            if span is not None:
+                obs.tracer.end(span, time_us, state=record.state.value)
         # Freed capacity: place queued work immediately, then wake the
         # scheduler actor so it can notice overall completion.
         self._try_place_queued(time_us)

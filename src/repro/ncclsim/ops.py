@@ -54,6 +54,15 @@ class NcclCollectiveOp:
             len(self.devices),
             [device.device_id for device in self.devices],
         )
+        #: Selector prediction for the resolved algorithm, carried on spans
+        #: and folded into the calibration report at completion.
+        self.predicted_cost_us = selector.predicted_cost_us(
+            self.algorithm, spec.kind, spec.nbytes, len(self.devices),
+            [device.device_id for device in self.devices],
+        )
+        engine = self.devices[0].engine if self.devices else None
+        obs = engine.obs if engine is not None else None
+        self.obs = obs if (obs is not None and obs.enabled) else None
         # Same island derivation as the DFCCL side (group-rank-ordered node
         # ids), so both backends compile identical hierarchical sequences.
         self.island_size = hierarchical_island_size(
@@ -112,6 +121,25 @@ class NcclCollectiveOp:
                 f"rank {group_rank} completed op {self.op_id} twice"
             )
         self._complete_ranks[group_rank] = time_us
+        if self.obs is not None:
+            kernel = self._kernels.get(group_rank)
+            launch = getattr(kernel, "launch_time_us", None)
+            self.obs.tracer.record(
+                self.name, "collective",
+                launch if launch is not None else time_us, time_us,
+                track=self.devices[group_rank].name,
+                attrs={"group_rank": group_rank,
+                       "algorithm": self.algorithm,
+                       "predicted_cost_us": self.predicted_cost_us})
+            if self.fully_complete():
+                launches = [k.launch_time_us for k in self._kernels.values()
+                            if getattr(k, "launch_time_us", None) is not None]
+                start = min(launches) if launches else time_us
+                self.obs.record_collective(
+                    "nccl", self.algorithm, self.spec.kind.value,
+                    self.spec.nbytes, self.group_size,
+                    max(self._complete_ranks.values()) - start,
+                    predicted_us=self.predicted_cost_us)
         for fn in self._completion_callbacks.get(group_rank, ()):
             fn()
         if engine is not None:

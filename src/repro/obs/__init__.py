@@ -1,0 +1,42 @@
+"""Unified observability: spans, metrics, flight recorder, calibration.
+
+One :class:`Observability` hub per engine (``engine.obs``) composes:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters / gauges /
+  histograms plus lazy gauge callbacks, exported as JSON or Prometheus text;
+* :class:`~repro.obs.spans.SpanTracer` — structured spans for collective
+  invocations, recovery episodes and job lifecycles;
+* :class:`~repro.obs.recorder.FlightRecorder` — always-on bounded rings of
+  recent step events and spans, auto-dumped on deadlock, recovery and fuzzer
+  failure;
+* the calibration log behind the ``selector_calibration`` report
+  (predicted-vs-measured cost per algorithm/size/topology).
+
+See ``docs/observability.md`` for the span model and the metric-name
+contract, and :mod:`repro.obs.report` for the CLI front-end.
+"""
+
+from repro.obs.links import link_rows, record_link_metrics
+from repro.obs.metrics import (
+    METRIC_NAMES,
+    MetricsRegistry,
+    declare_metric,
+)
+from repro.obs.observability import Observability
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import Span, SpanTracer
+from repro.obs.trace import chrome_trace_events, write_chrome_trace
+
+__all__ = [
+    "METRIC_NAMES",
+    "MetricsRegistry",
+    "Observability",
+    "FlightRecorder",
+    "Span",
+    "SpanTracer",
+    "chrome_trace_events",
+    "declare_metric",
+    "link_rows",
+    "record_link_metrics",
+    "write_chrome_trace",
+]

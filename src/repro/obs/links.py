@@ -1,0 +1,50 @@
+"""Per-link traffic aggregation: bytes, messages, alpha-beta busy time.
+
+Channels count pushes and bytes inline (two integer adds on the executor
+fast path); everything else here is derived analytically at aggregation
+time — per-link busy is ``alpha * messages + bytes / (beta * 1e3)`` using
+the interconnect link each channel rides on — so the hot path never touches
+a dict of per-link accumulators.
+
+Backends call :func:`record_link_metrics` from ``diagnostics()``, which
+folds the rows into labeled ``link_*`` gauges on the metrics registry.
+"""
+
+
+def link_rows(communicators):
+    """Aggregate per-(src, dst)-device traffic across communicators.
+
+    Returns rows sorted by device pair.  A channel seen through multiple
+    communicator views is counted once.
+    """
+    totals = {}
+    seen = set()
+    for communicator in communicators:
+        for (src_rank, dst_rank), channel in communicator.channels().items():
+            if id(channel) in seen:
+                continue
+            seen.add(id(channel))
+            link = communicator.link(src_rank, dst_rank)
+            busy_us = (link.alpha_us * channel.pushed_count
+                       + channel.bytes_pushed / (link.beta_gbps * 1e3))
+            key = (str(channel.src_device), str(channel.dst_device))
+            row = totals.get(key)
+            if row is None:
+                row = totals[key] = {"src": key[0], "dst": key[1],
+                                     "bytes": 0, "messages": 0,
+                                     "busy_us": 0.0}
+            row["bytes"] += channel.bytes_pushed
+            row["messages"] += channel.pushed_count
+            row["busy_us"] += busy_us
+    return [totals[key] for key in sorted(totals)]
+
+
+def record_link_metrics(metrics, communicators):
+    """Fold :func:`link_rows` into labeled gauges; returns the rows."""
+    rows = link_rows(communicators)
+    for row in rows:
+        labels = {"src": row["src"], "dst": row["dst"]}
+        metrics.gauge("link_bytes_total", labels).set(row["bytes"])
+        metrics.gauge("link_messages_total", labels).set(row["messages"])
+        metrics.gauge("link_busy_us", labels).set(row["busy_us"])
+    return rows

@@ -1,0 +1,112 @@
+"""The per-engine observability hub: metrics + tracer + flight recorder.
+
+Every :class:`~repro.gpusim.engine.Engine` owns one
+:class:`Observability` (pass ``observability=Observability(enabled=False)``
+to opt out, as the overhead benchmark's control arm does).  Instrumentation
+sites throughout the tree reach it as ``engine.obs`` / ``cluster.obs`` and
+guard on ``obs.enabled`` — a disabled hub still exposes the full object
+graph so call sites need no branching beyond that one check.
+
+The hub also owns the **calibration log**: every completed collective
+contributes a (predicted cost, measured virtual time) sample, and
+:meth:`Observability.calibration_report` aggregates cost-model error per
+(backend, algorithm, kind, size, group size) — the data behind the
+``selector_calibration`` section of ``BENCH_scale.json``.
+"""
+
+from collections import deque
+from statistics import fmean
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import (
+    DEFAULT_EVENT_CAPACITY,
+    DEFAULT_SPAN_CAPACITY,
+    FlightRecorder,
+)
+from repro.obs.spans import SpanTracer
+
+#: Auto-dumps retained per run (deadlocks / recoveries / fuzzer failures).
+MAX_DUMPS = 8
+
+#: Calibration samples retained (bounded like everything else here).
+MAX_CALIBRATION_SAMPLES = 4096
+
+
+class Observability:
+    def __init__(self, enabled=True,
+                 event_capacity=DEFAULT_EVENT_CAPACITY,
+                 span_capacity=DEFAULT_SPAN_CAPACITY):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.recorder = FlightRecorder(event_capacity, span_capacity)
+        self.tracer = SpanTracer(self.recorder)
+        self.calibration = deque(maxlen=MAX_CALIBRATION_SAMPLES)
+        self.dumps = []
+        self.last_dump = None
+        if enabled:
+            registry = self.metrics
+            registry.gauge_fn("flight_recorder_events",
+                              lambda: len(self.recorder.ring))
+            registry.gauge_fn("flight_recorder_spans",
+                              lambda: len(self.recorder.spans))
+            registry.gauge_fn("flight_recorder_dumps",
+                              lambda: len(self.dumps))
+
+    # -- collectives --------------------------------------------------------
+
+    def record_collective(self, backend, algorithm, kind, nbytes, group_size,
+                          measured_us, predicted_us=None):
+        """A collective invocation fully completed: histogram + calibration."""
+        self.metrics.counter("collective_invocations").inc()
+        self.metrics.histogram(
+            "collective_latency_us",
+            labels={"backend": backend, "algorithm": algorithm},
+        ).observe(measured_us)
+        if predicted_us is not None:
+            self.calibration.append({
+                "backend": backend, "algorithm": algorithm, "kind": kind,
+                "nbytes": nbytes, "group_size": group_size,
+                "predicted_us": predicted_us, "measured_us": measured_us,
+            })
+
+    def calibration_report(self):
+        """Aggregate predicted-vs-measured per (backend, algo, kind, size)."""
+        groups = {}
+        for sample in self.calibration:
+            key = (sample["backend"], sample["algorithm"], sample["kind"],
+                   sample["nbytes"], sample["group_size"])
+            groups.setdefault(key, []).append(sample)
+        rows = []
+        for key in sorted(groups):
+            samples = groups[key]
+            predicted = fmean(s["predicted_us"] for s in samples)
+            measured = fmean(s["measured_us"] for s in samples)
+            rows.append({
+                "backend": key[0], "algorithm": key[1], "kind": key[2],
+                "nbytes": key[3], "group_size": key[4],
+                "samples": len(samples),
+                "predicted_cost_us": predicted,
+                "measured_cost_us": measured,
+                "relative_error": ((measured - predicted) / measured
+                                   if measured else None),
+            })
+        return rows
+
+    # -- flight-recorder dumps ----------------------------------------------
+
+    def dump(self, reason, context=None):
+        """Serialize the recorder's current state (no side effects)."""
+        return self.recorder.dump(
+            reason,
+            open_spans=self.tracer.open_spans(),
+            context=context,
+            metrics=self.metrics.snapshot(),
+        )
+
+    def auto_dump(self, reason, context=None):
+        """Take a dump and retain it (deadlock / recovery / fuzzer hooks)."""
+        dumped = self.dump(reason, context=context)
+        self.last_dump = dumped
+        self.dumps.append(dumped)
+        del self.dumps[:-MAX_DUMPS]
+        return dumped

@@ -56,7 +56,7 @@ __all__ = [
 def __getattr__(name):
     # Lazy: importing the CLI module here would shadow `python -m
     # repro.testing.fuzz` (runpy warns when the module is pre-imported).
-    if name in ("fuzz", "minimize_program"):
+    if name in ("fuzz", "minimize_program", "write_failure_artifacts"):
         from repro.testing import fuzz as _fuzz
 
         return getattr(_fuzz, name)

@@ -91,6 +91,10 @@ class ReplayResult:
     records: list = field(default_factory=list)
     survivor_ranks: tuple = ()
     diagnostics: dict = field(default_factory=dict)
+    #: Flight-recorder dump of the replay (``capture_obs=True`` only); kept
+    #: out of :meth:`comparable_state` so determinism replays never compare
+    #: observability payloads.
+    flight_dump: dict = None
 
     @property
     def completed(self):
@@ -178,11 +182,14 @@ def _issue_call(group, call, rank):
     return method(rank, call.count, **kwargs)
 
 
-def replay_program(program, backend_name, seed=17, **knobs):
+def replay_program(program, backend_name, seed=17, capture_obs=False, **knobs):
     """Replay ``program`` through one backend; returns a :class:`ReplayResult`.
 
     ``knobs`` are forwarded to :func:`repro.api.make_backend` on top of the
-    program's own ``chunk_bytes`` / ``algorithm``.
+    program's own ``chunk_bytes`` / ``algorithm``.  With ``capture_obs=True``
+    the result carries a flight-recorder dump of the run (step events, spans,
+    metrics) in ``flight_dump`` — the artifact the fuzzer writes next to a
+    minimized failing program.
     """
     cluster = build_cluster(program.topology, deadlock_mode="record")
     if program.world_size > cluster.world_size:
@@ -255,6 +262,13 @@ def replay_program(program, backend_name, seed=17, **knobs):
     else:
         outcome = "stuck"
 
+    flight_dump = None
+    if capture_obs:
+        flight_dump = cluster.engine.obs.dump(
+            "fuzz", context={"backend": backend_name, "outcome": outcome,
+                             "seed": program.seed,
+                             "world_size": program.world_size})
+
     return ReplayResult(
         backend=backend_name,
         outcome=outcome,
@@ -262,6 +276,7 @@ def replay_program(program, backend_name, seed=17, **knobs):
         records=records,
         survivor_ranks=survivors,
         diagnostics=backend.diagnostics(),
+        flight_dump=flight_dump,
     )
 
 

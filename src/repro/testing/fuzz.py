@@ -8,19 +8,29 @@ On failure the offending :class:`~repro.testing.generator.ProgramSpec` is
 printed as plain data together with a one-line repro command;
 ``--minimize`` additionally shrinks it — greedily dropping calls, halving
 payload sizes and dropping fault events while the failure persists — so the
-committed reproducer is the smallest program that still diverges.
+committed reproducer is the smallest program that still diverges.  With an
+``artifact_dir`` (CLI ``--artifact-dir``), each failure also writes the
+minimized program as JSON plus a flight-recorder dump of its replay
+(``*.flight.json``) — step events, spans and the metrics snapshot of the
+diverging run.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import replace
 
 from repro.common.rng import DeterministicRNG
-from repro.testing.differential import DEFAULT_BACKENDS, check_program
+from repro.testing.differential import (
+    DEADLOCK_FREE_BACKEND,
+    DEFAULT_BACKENDS,
+    check_program,
+    replay_program,
+)
 from repro.testing.generator import generate_program
 
 
@@ -54,9 +64,39 @@ def program_at(seed, index, max_ranks=8, fault_fraction=0.15, max_calls=8):
     )
 
 
+def write_failure_artifacts(failure, artifact_dir, seed, backends):
+    """Write the failing program and its flight-recorder dump to disk.
+
+    Returns the list of paths written.  The program written is the minimized
+    one when minimization ran; the flight dump replays it on
+    :data:`DEADLOCK_FREE_BACKEND` (or the first requested backend) with
+    ``capture_obs=True``.
+    """
+    os.makedirs(artifact_dir, exist_ok=True)
+    program = failure.get("minimized", failure["program"])
+    stem = os.path.join(artifact_dir, f"fuzz-seed{seed}-p{failure['index']}")
+    paths = []
+
+    program_path = f"{stem}.program.json"
+    with open(program_path, "w", encoding="utf-8") as handle:
+        json.dump({"divergences": failure["divergences"],
+                   "program": program.describe()},
+                  handle, indent=2, default=str)
+    paths.append(program_path)
+
+    replay_backend = (DEADLOCK_FREE_BACKEND
+                      if DEADLOCK_FREE_BACKEND in backends else backends[0])
+    result = replay_program(program, replay_backend, capture_obs=True)
+    flight_path = f"{stem}.flight.json"
+    with open(flight_path, "w", encoding="utf-8") as handle:
+        json.dump(result.flight_dump, handle, indent=2, default=str)
+    paths.append(flight_path)
+    return paths
+
+
 def fuzz(seed=0, programs=200, max_ranks=8, backends=DEFAULT_BACKENDS,
          fault_fraction=0.15, max_calls=8, verbose=False, stop_on_failure=True,
-         minimize=False, log=print):
+         minimize=False, artifact_dir=None, log=print):
     """Run the fuzz loop; returns a summary dict (``failures`` empty on pass)."""
     started = time.perf_counter()
     kind_histogram = {}
@@ -86,6 +126,11 @@ def fuzz(seed=0, programs=200, max_ranks=8, backends=DEFAULT_BACKENDS,
             failure["minimized"] = minimized
             log("minimized reproducer:")
             log(json.dumps(minimized.describe(), indent=2, default=str))
+        if artifact_dir is not None:
+            failure["artifacts"] = write_failure_artifacts(
+                failure, artifact_dir, seed, backends)
+            for path in failure["artifacts"]:
+                log(f"wrote {path}")
         failures.append(failure)
         if stop_on_failure:
             break
@@ -198,6 +243,11 @@ def main(argv=None):
                         help="max collective calls per program (default 8)")
     parser.add_argument("--minimize", action="store_true",
                         help="shrink the first failing program before reporting")
+    parser.add_argument("--artifact-dir", default=None,
+                        help="directory for failure artifacts — the failing "
+                             "program and its flight-recorder dump, written "
+                             "only when a program diverges (default: no "
+                             "artifacts)")
     parser.add_argument("--keep-going", action="store_true",
                         help="do not stop at the first divergent program")
     parser.add_argument("--verbose", action="store_true",
@@ -214,6 +264,7 @@ def main(argv=None):
         verbose=args.verbose,
         stop_on_failure=not args.keep_going,
         minimize=args.minimize,
+        artifact_dir=args.artifact_dir,
     )
     if summary["failures"]:
         knobs = summary["knobs"]

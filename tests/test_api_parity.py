@@ -158,6 +158,31 @@ class TestCompletionParity:
                 assert [work.index for work in works] == [0, 1, 2]
 
 
+class TestDiagnosticsParity:
+    def test_every_backend_reports_diagnostics(self):
+        """No backend falls back to the empty CollectiveBackend default."""
+
+        def program(group, rank):
+            return [group.all_reduce(rank, 1 << 14, key=0)]
+
+        for backend_name in ("dfccl", "nccl", "mpi"):
+            cluster = build_cluster("single-3090")
+            backend = make_backend(backend_name, cluster, chunk_bytes=CHUNK,
+                                   algorithm="ring")
+            group = backend.new_group([0, 1, 2, 3])
+            programs = []
+            for rank in group.ranks:
+                works = program(group, rank)
+                ops = [work.submit_op() for work in works] + wait_all(works)
+                ops.extend(backend.finalize_ops(rank))
+                programs.append(HostProgram(ops))
+            cluster.add_hosts(programs)
+            cluster.run()
+            diag = backend.diagnostics()
+            assert diag, f"{backend_name} returned empty diagnostics"
+            assert diag["metrics"]["collective_invocations"] == 1
+
+
 class TestMeasureCollectiveParity:
     def test_measure_collective_runs_on_every_backend(self):
         from repro.bench import measure_collective

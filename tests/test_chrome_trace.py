@@ -1,16 +1,23 @@
-"""Chrome-trace export of engine events (``chrome://tracing`` JSON)."""
+"""Chrome-trace export of engine events (``chrome://tracing`` JSON).
+
+The exporter under test is the observability-based one
+(:mod:`repro.obs.trace`), which reads the always-on flight recorder; the
+legacy list-of-tuples exporter in :mod:`repro.core.profiler` is exercised
+once through its deprecation shim.
+"""
 
 import json
 
-from repro.core import DfcclBackend, chrome_trace_events, write_chrome_trace
+import pytest
+
+from repro.core import DfcclBackend
 from repro.gpusim import HostProgram, build_cluster
+from repro.obs import chrome_trace_events, write_chrome_trace
 
 
-def _traced_run():
-    """A tiny DFCCL run with engine tracing on; returns the trace list."""
-    trace = []
+def _traced_cluster():
+    """A tiny DFCCL run; returns the cluster (flight recorder is always on)."""
     cluster = build_cluster("single-3090")
-    cluster.engine.trace = trace
     backend = DfcclBackend(cluster)
     ranks = [0, 1]
     backend.init_all_ranks(ranks)
@@ -21,14 +28,15 @@ def _traced_run():
         programs.append(HostProgram(handle.ops() + [backend.destroy_op(rank)]))
     cluster.add_hosts(programs)
     cluster.run()
-    return trace
+    return cluster
 
 
 class TestChromeTraceExport:
     def test_events_have_trace_viewer_fields(self):
-        trace = _traced_run()
-        assert trace, "engine tracing must record events"
-        events = chrome_trace_events(trace)
+        cluster = _traced_cluster()
+        assert cluster.engine.obs.recorder.ring, \
+            "the flight recorder must capture step events always-on"
+        events = chrome_trace_events(cluster.engine.obs)
         metadata = [event for event in events if event["ph"] == "M"]
         spans = [event for event in events if event["ph"] == "X"]
         assert any(event["name"] == "process_name" for event in metadata)
@@ -43,42 +51,74 @@ class TestChromeTraceExport:
             assert event["dur"] >= 0.0
             assert isinstance(event["tid"], int)
 
-    def test_spans_are_monotonic_per_thread(self):
-        events = chrome_trace_events(_traced_run())
+    def test_collective_span_tracks_present(self):
+        cluster = _traced_cluster()
+        events = chrome_trace_events(cluster.engine.obs)
+        collective_spans = [event for event in events
+                            if event["ph"] == "X"
+                            and event.get("cat") == "collective"]
+        # One span per rank of the single all-reduce, on a pid > 0 process.
+        assert len(collective_spans) == 2
+        assert all(event["pid"] >= 1 for event in collective_spans)
+        counters = [event for event in events if event["ph"] == "C"]
+        assert counters, "in-flight collective counter track expected"
+        assert max(event["args"]["collectives"] for event in counters) >= 1
+
+    def test_engine_step_slices_are_monotonic_per_thread(self):
+        events = chrome_trace_events(_traced_cluster().engine.obs)
         by_tid = {}
         for event in events:
-            if event["ph"] == "X":
+            if event["ph"] == "X" and event["pid"] == 0:
                 by_tid.setdefault(event["tid"], []).append(event)
         for spans in by_tid.values():
             ends = [span["ts"] + span["dur"] for span in spans]
             assert ends == sorted(ends)
 
     def test_write_chrome_trace_file_is_loadable(self, tmp_path):
-        trace = _traced_run()
+        cluster = _traced_cluster()
         path = tmp_path / "engine-trace.json"
-        count = write_chrome_trace(trace, path)
+        count = write_chrome_trace(cluster.engine.obs, path)
         assert count > 0
         document = json.loads(path.read_text())
         assert document["displayTimeUnit"] == "ms"
         assert len(document["traceEvents"]) == count
 
     def test_write_accepts_open_file(self, tmp_path):
-        trace = _traced_run()
+        cluster = _traced_cluster()
         path = tmp_path / "engine-trace.json"
         with open(path, "w", encoding="utf-8") as handle:
-            write_chrome_trace(trace, handle)
+            write_chrome_trace(cluster.engine.obs, handle)
         assert json.loads(path.read_text())["traceEvents"]
 
-    def test_multijob_trace_shows_both_tenants(self, tmp_path):
+    def test_multijob_trace_shows_both_tenants(self):
         from repro.bench import run_multijob
 
-        trace = []
         result = run_multijob(backend="dfccl", seed=3, num_jobs=2,
-                              trace=trace, deadline_us=4_000_000)
+                              deadline_us=4_000_000)
         assert result["summary"]["completed"] >= 1
-        events = chrome_trace_events(trace)
-        thread_names = {event["args"]["name"] for event in events
-                        if event.get("name") == "thread_name"}
-        tenants = {name.split("-rank")[0] for name in thread_names
-                   if name.startswith("job-")}
-        assert len(tenants) >= 2  # both jobs' rank processes appear
+        events = chrome_trace_events(result["obs"])
+        job_processes = {event["args"]["name"] for event in events
+                         if event.get("name") == "process_name"
+                         and event["args"]["name"].startswith("job:")}
+        assert len(job_processes) >= 2  # one span process per tenant
+
+
+class TestLegacyProfilerShim:
+    def test_legacy_exporter_warns_but_works(self, tmp_path):
+        from repro.core import profiler
+
+        trace = [(0.0, "host-0", "progress", "launch"),
+                 (5.0, "host-0", "progress", "wait")]
+        with pytest.warns(DeprecationWarning):
+            events = profiler.chrome_trace_events(trace)
+        assert any(event["ph"] == "X" for event in events)
+        path = tmp_path / "legacy-trace.json"
+        with pytest.warns(DeprecationWarning):
+            count = profiler.write_chrome_trace(trace, path)
+        assert len(json.loads(path.read_text())["traceEvents"]) == count
+
+    def test_engine_trace_kwarg_warns(self):
+        from repro.gpusim.engine import Engine
+
+        with pytest.warns(DeprecationWarning):
+            Engine(trace=[])

@@ -5,10 +5,10 @@ Two guarantees, both cheap enough for tier-1:
 * every relative markdown link in ``README.md`` and ``docs/`` points at a
   file that exists (and, for ``#fragment`` links, at a heading that exists —
   GitHub-style slugs);
-* every backend registered in ``repro.api.BACKENDS`` and every algorithm
-  name in ``repro.collectives.ALGORITHM_CHOICES`` is mentioned in
-  ``docs/algorithms.md``, so extending a registry without documenting the
-  new name fails CI.
+* every backend registered in ``repro.api.BACKENDS``, every algorithm name
+  in ``repro.collectives.ALGORITHM_CHOICES`` and every metric declared in
+  ``repro.obs.METRIC_NAMES`` is mentioned in its docs page, so extending a
+  registry without documenting the new name fails CI.
 """
 
 import re
@@ -18,6 +18,7 @@ import pytest
 
 from repro.api import BACKENDS
 from repro.collectives import ALGORITHM_CHOICES
+from repro.obs import METRIC_NAMES
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = sorted([REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")])
@@ -97,3 +98,13 @@ def test_every_algorithm_documented():
         assert f"`{name}`" in text, (
             f"algorithm {name!r} is accepted but not documented in "
             f"docs/algorithms.md")
+
+
+def test_every_metric_documented():
+    """Each declared metric name appears in docs/observability.md."""
+    text = (REPO_ROOT / "docs" / "observability.md").read_text(encoding="utf-8")
+    assert METRIC_NAMES, "metric registry is empty?"
+    for name in METRIC_NAMES:
+        assert f"`{name}`" in text, (
+            f"metric {name!r} is declared but not documented in "
+            f"docs/observability.md")

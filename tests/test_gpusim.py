@@ -66,12 +66,12 @@ class TestEngine:
         assert actor.now == pytest.approx(5.0)
 
     def test_smallest_clock_scheduling(self):
-        engine = Engine(trace=[])
+        engine = Engine()
         engine.add_actor(_CountdownActor("slow", 3))
         engine.add_actor(_CountdownActor("fast", 3))
         engine.run()
-        times = [entry[0] for entry in engine.trace]
-        assert times == sorted(times)
+        times = [entry[0] for entry in engine.obs.recorder.step_events()]
+        assert times and times == sorted(times)
 
     def test_blocked_actor_wakes_on_signal(self):
         engine = Engine()
@@ -480,7 +480,7 @@ class TestEngineEventQueue:
         assert worker.finished
 
     def test_signal_log_is_bounded(self):
-        engine = Engine(trace=[])
+        engine = Engine()
         for i in range(engine.SIGNAL_LOG_LIMIT * 2):
             engine.signal(("k", i))
         assert len(engine._signal_log) == engine.SIGNAL_LOG_LIMIT

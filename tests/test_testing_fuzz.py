@@ -235,6 +235,41 @@ class TestNegative:
         assert failure["index"] == 0
         assert any("sequence-parity" in d for d in failure["divergences"])
 
+    def test_failure_writes_flight_recorder_artifacts(self, monkeypatch,
+                                                      tmp_path):
+        """A seeded failure lands the minimized program plus a flight dump."""
+        import json
+
+        import repro.testing.fuzz as fuzz_module
+
+        monkeypatch.setattr(
+            fuzz_module, "program_at",
+            lambda seed, index, **_: _single_all_reduce_program(),
+        )
+        summary = fuzz(seed=5, programs=1,
+                       backends=("dfccl", "nccl-wrongchunk"),
+                       minimize=True, artifact_dir=str(tmp_path),
+                       log=lambda *_: None)
+        failure = summary["failures"][0]
+        program_path, flight_path = failure["artifacts"]
+        assert program_path.endswith("fuzz-seed5-p0.program.json")
+        assert flight_path.endswith("fuzz-seed5-p0.flight.json")
+
+        with open(program_path, encoding="utf-8") as handle:
+            program_doc = json.load(handle)
+        # The minimized reproducer, not the original 3-call program.
+        assert program_doc["program"] == json.loads(
+            json.dumps(failure["minimized"].describe(), default=str))
+        assert any("sequence-parity" in d for d in program_doc["divergences"])
+
+        with open(flight_path, encoding="utf-8") as handle:
+            flight = json.load(handle)
+        assert flight["reason"] == "fuzz"
+        assert flight["context"]["backend"] == "dfccl"
+        assert flight["events"], "flight dump must carry engine step events"
+        assert flight["spans"], "flight dump must carry collective spans"
+        assert flight["metrics"]["engine_steps"] > 0
+
     def test_main_exits_nonzero_and_prints_repro_on_failure(self, monkeypatch,
                                                             capsys):
         import repro.testing.fuzz as fuzz_module
