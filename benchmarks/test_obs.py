@@ -44,6 +44,31 @@ def test_traced_64_rank_snapshot_writes_report():
     assert written["calibration"]
 
 
+def test_64_rank_attribution_conserves_within_one_percent():
+    """Time attribution on the traced 64-rank run: buckets sum to measured
+    virtual time within 1% (the conservation invariant the CI obs-smoke job
+    also gates through ``python -m repro.obs.report --analyze``), and
+    analysis does not perturb the simulation itself."""
+    plain = run_scale_point(**_POINT)
+    analyzed = run_scale_point(**_POINT, analyze=True)
+    assert analyzed["completed"]
+    # Attaching traces must not change workload physics.
+    assert analyzed["virtual_time_us"] == plain["virtual_time_us"]
+    assert analyzed["steps"] == plain["steps"]
+    attribution = analyzed["attribution"]
+    assert attribution["worst_invocation_conservation_error"] <= 0.01
+    run = attribution["run"]
+    assert run["conservation_error"] <= 0.01
+    assert sum(run["buckets"].values()) == pytest.approx(
+        run["measured_us"], rel=0.01)
+    assert run["critical_path"]["slowest_rank"]
+    assert run["critical_path"]["slowest_link"]
+    # Bucket-level calibration feedback names the mispredicted bucket.
+    for cell in analyzed["calibration"]:
+        assert cell["mispredicted_bucket"] is not None
+        assert cell["measured_buckets"]
+
+
 def test_flight_recorder_overhead_under_10_percent():
     """Always-on recording costs <10% steps/sec vs the untraced control arm."""
     traced = max((run_scale_point(**_POINT) for _ in range(3)),

@@ -68,6 +68,28 @@ def test_scale_sweep_writes_report(benchmark):
         assert point["measured_cost_us"] > 0.0
         assert point["relative_error"] is not None
     assert calibration["worst_relative_error"] is not None
+    # The tree cost model's inter-pod spine term: on the two-level fat-tree
+    # points (256/512 ranks) the tree prediction must land within 25% of the
+    # measured virtual time — without the term it missed by >50%.
+    tree_points = [point for point in calibration["points"]
+                   if point["algorithm"] == "tree"
+                   and point["topology"] == "fat-tree"]
+    assert tree_points
+    for point in tree_points:
+        assert abs(point["relative_error"]) < 0.25, point
+    # Per-algorithm time attribution on the 512-rank trio: the bucket
+    # decomposition conserves measured virtual time to within 1% and the
+    # critical path names the slowest rank and link.
+    for algorithm, row in trio.items():
+        attribution = row["attribution"]
+        run = attribution["run"]
+        assert run["conservation_error"] <= 0.01, algorithm
+        assert sum(run["buckets"].values()) == pytest.approx(
+            run["measured_us"], rel=0.01)
+        assert attribution["worst_invocation_conservation_error"] <= 0.01
+        path = run["critical_path"]
+        assert path["slowest_rank"]
+        assert path["slowest_link"] and "->" in path["slowest_link"]
     # Sanity on the artifact: parse it back and find the 64-rank speedup.
     with open(SCALE_REPORT_PATH, encoding="utf-8") as fh:
         written = json.load(fh)

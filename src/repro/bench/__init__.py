@@ -34,6 +34,7 @@ from repro.bench.multijob_experiments import (
 )
 from repro.bench.scale_experiments import (
     PRE_PR_BASELINE,
+    attribution_summary,
     machine_calibration_factor,
     run_scale_point,
     scale_sweep,
@@ -52,6 +53,7 @@ __all__ = [
     "CHAOS_PLANS",
     "PRE_PR_BASELINE",
     "machine_calibration_factor",
+    "attribution_summary",
     "run_scale_point",
     "scale_sweep",
     "selector_report",

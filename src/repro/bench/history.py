@@ -1,0 +1,165 @@
+"""Benchmark history ledger: ``python -m repro.bench.history``.
+
+``BENCH_scale.json`` and ``BENCH_obs.json`` are snapshots — each regeneration
+overwrites the last, so a slow regression that lands together with a report
+refresh is invisible in review.  This module keeps an append-only ledger,
+``BENCH_history.json``, of *machine-normalized* throughput snapshots:
+
+* ``--append`` reads the current report files, divides every steps/sec figure
+  by the report's recorded pure-Python calibration score (see
+  :func:`repro.bench.scale_experiments.machine_calibration_factor`), and
+  appends one snapshot entry.  Normalizing by the calibration score makes
+  entries recorded on different machines comparable: steps-per-calibration-op
+  is a machine-free measure of simulator efficiency.
+* ``--check`` diffs the newest snapshot against the previous one and fails
+  (exit 1) if any shared point's normalized throughput regressed by more
+  than ``--threshold`` (default 15%).  CI runs append-then-check on every
+  push, so the ledger grows one entry per CI run and the diff is always
+  "this commit vs the last one that ran".
+
+Entries carry no wall-clock timestamp on purpose: the simulator is
+deterministic and CI history is ordered by position, so a timestamp would be
+the only non-reproducible field in the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+#: Ledger entries are keyed by this schema version so a future format change
+#: can skip (rather than misread) old entries.
+HISTORY_VERSION = 1
+
+
+def _load_json(path):
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def snapshot_from_reports(scale_path="BENCH_scale.json",
+                          obs_path="BENCH_obs.json"):
+    """Build one normalized history entry from the current report files.
+
+    Every point becomes ``"<ranks>/<topology>/<algorithm>" ->
+    {steps_per_sec, normalized_steps_per_calibration_op, virtual_time_us}``.
+    Raises ``ValueError`` when the scale report is missing (nothing to
+    normalize against) — the obs report is optional.
+    """
+    scale = _load_json(scale_path)
+    if scale is None:
+        raise ValueError(f"no scale report at {scale_path!r}; run "
+                         "write_scale_report() first")
+    calibration = scale.get("calibration_ops_per_sec")
+    if not calibration:
+        raise ValueError(f"{scale_path!r} carries no calibration_ops_per_sec")
+    points = {}
+    for row in scale.get("points", ()):
+        key = f"{row['ranks']}/{row['topology']}/{row['algorithm']}"
+        points[key] = {
+            "steps_per_sec": row["steps_per_sec"],
+            "normalized": row["steps_per_sec"] / calibration,
+            "virtual_time_us": row["virtual_time_us"],
+        }
+    obs = _load_json(obs_path)
+    if obs is not None and obs.get("steps_per_sec"):
+        key = (f"obs/{obs['ranks']}/{obs['topology']}/"
+               f"{obs['algorithm']}")
+        points[key] = {
+            "steps_per_sec": obs["steps_per_sec"],
+            "normalized": obs["steps_per_sec"] / calibration,
+            "virtual_time_us": obs["virtual_time_us"],
+        }
+    return {
+        "version": HISTORY_VERSION,
+        "calibration_ops_per_sec": calibration,
+        "points": points,
+    }
+
+
+def append_snapshot(history_path="BENCH_history.json",
+                    scale_path="BENCH_scale.json",
+                    obs_path="BENCH_obs.json"):
+    """Append the current reports' snapshot to the ledger; returns it."""
+    history = _load_json(history_path) or {"entries": []}
+    entry = snapshot_from_reports(scale_path=scale_path, obs_path=obs_path)
+    history["entries"].append(entry)
+    with open(history_path, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2, sort_keys=True)
+    return entry
+
+
+def diff_latest(history_path="BENCH_history.json", threshold=0.15):
+    """Compare the two newest snapshots; returns (regressions, lines).
+
+    ``regressions`` lists the shared points whose normalized throughput
+    dropped by more than ``threshold``; ``lines`` is the full human-readable
+    diff (every shared point, regressed or not).  Fewer than two comparable
+    entries → no regressions, with a line saying why.
+    """
+    history = _load_json(history_path) or {"entries": []}
+    entries = [entry for entry in history["entries"]
+               if entry.get("version") == HISTORY_VERSION]
+    if len(entries) < 2:
+        return [], [f"{len(entries)} history entr"
+                    f"{'y' if len(entries) == 1 else 'ies'}; "
+                    "need 2 to diff — no regression check possible"]
+    previous, latest = entries[-2], entries[-1]
+    lines = []
+    regressions = []
+    shared = sorted(set(previous["points"]) & set(latest["points"]))
+    for key in shared:
+        before = previous["points"][key]["normalized"]
+        after = latest["points"][key]["normalized"]
+        change = (after - before) / before if before else 0.0
+        marker = ""
+        if change < -threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append({"point": key, "before": before,
+                                "after": after, "change": change})
+        lines.append(f"{key}: {before:.6f} -> {after:.6f} "
+                     f"steps/cal-op ({change:+.1%}){marker}")
+    for key in sorted(set(latest["points"]) - set(previous["points"])):
+        lines.append(f"{key}: (new point, no baseline)")
+    return regressions, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.history",
+        description="Append-only machine-normalized benchmark ledger.")
+    parser.add_argument("--history", default="BENCH_history.json")
+    parser.add_argument("--scale", default="BENCH_scale.json")
+    parser.add_argument("--obs", default="BENCH_obs.json")
+    parser.add_argument("--append", action="store_true",
+                        help="append a snapshot of the current reports")
+    parser.add_argument("--check", action="store_true",
+                        help="diff the two newest snapshots; exit 1 on a "
+                             "normalized regression beyond --threshold")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fractional regression tolerance (default 0.15)")
+    args = parser.parse_args(argv)
+    if not args.append and not args.check:
+        parser.error("nothing to do: pass --append and/or --check")
+    if args.append:
+        entry = append_snapshot(history_path=args.history,
+                                scale_path=args.scale, obs_path=args.obs)
+        print(f"appended snapshot: {len(entry['points'])} points, "
+              f"calibration {entry['calibration_ops_per_sec']:.3g} ops/sec")
+    status = 0
+    if args.check:
+        regressions, lines = diff_latest(history_path=args.history,
+                                         threshold=args.threshold)
+        print("\n".join(lines))
+        if regressions:
+            print(f"\n{len(regressions)} point(s) regressed beyond "
+                  f"{args.threshold:.0%} (machine-normalized)")
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -104,7 +104,7 @@ def _cluster_spec_for(ranks, topology):
 
 def run_scale_point(ranks, topology="flat", algorithm="ring", nbytes=1 << 20,
                     iterations=2, backend="dfccl", chunk_bytes=128 << 10,
-                    observe=True, collect_metrics=False):
+                    observe=True, collect_metrics=False, analyze=False):
     """Run one N-rank all-reduce workload; return the measured row.
 
     GC is collected once and disabled across the measured region (standard
@@ -115,12 +115,19 @@ def run_scale_point(ranks, topology="flat", algorithm="ring", nbytes=1 << 20,
     hub — the control arm of the flight-recorder overhead gate.  With
     ``collect_metrics=True`` the row additionally carries the full metrics
     snapshot (always-on rows carry only the calibration samples).
+    ``analyze=True`` opts the run into critical-path time attribution and
+    attaches the decomposition as ``row["attribution"]`` — analyzed runs pay
+    the trace-append cost, so the sweep times its points *without* analysis
+    and runs one extra analyzed pass per point (the simulator is
+    deterministic, so both passes see identical virtual times).
     """
     from repro.obs import Observability
 
     spec = _cluster_spec_for(ranks, topology)
     observability = None if observe else Observability(enabled=False)
     cluster = build_cluster(spec, observability=observability)
+    if analyze and cluster.engine.obs.enabled:
+        cluster.engine.obs.enable_analysis()
     api_backend = make_backend(backend, cluster, chunk_bytes=chunk_bytes,
                                algorithm=algorithm)
     group = api_backend.new_group(list(range(ranks)))
@@ -168,11 +175,54 @@ def run_scale_point(ranks, topology="flat", algorithm="ring", nbytes=1 << 20,
     }
     obs = cluster.engine.obs
     if obs.enabled:
+        if analyze and obs.analysis is not None:
+            from repro.obs.analysis import analyze_run
+
+            row["attribution"] = attribution_summary(analyze_run(obs))
+        # After analyze_run the calibration rows carry per-bucket feedback
+        # (measured_buckets / mispredicted_bucket) for each cell.
         row["calibration"] = obs.calibration_report()
         if collect_metrics:
             api_backend.diagnostics()  # folds link metrics into the registry
             row["metrics"] = obs.metrics.snapshot()
     return row
+
+
+def attribution_summary(results):
+    """Compact, JSON-safe summary of one run's time attribution.
+
+    Keeps the run-level bucket decomposition plus per-invocation buckets and
+    the named slowest rank / slowest link — the fields the scale report's
+    acceptance gates assert on — while dropping the per-edge flow detail.
+    """
+    def compact(result):
+        path = result["critical_path"]
+        return {
+            "measured_us": result["measured_us"],
+            "buckets": dict(result["buckets"]),
+            "tiers": dict(result["tiers"]),
+            "conservation_error": result["conservation_error"],
+            "critical_path": {
+                "nodes": path["nodes"],
+                "cross_rank_edges": path["cross_rank_edges"],
+                "path_time_us": path["path_time_us"],
+                "slowest_rank": path["slowest_rank"],
+                "slowest_link": path["slowest_link"],
+            },
+            "straggler": result["straggler"],
+        }
+
+    invocations = [dict(compact(inv),
+                        invocation=inv["invocation"],
+                        algorithm=inv["algorithm"])
+                   for inv in results.get("invocations") or ()]
+    errors = [inv["conservation_error"] for inv in invocations]
+    run_result = results.get("run")
+    return {
+        "run": compact(run_result) if run_result else None,
+        "invocations": invocations,
+        "worst_invocation_conservation_error": max(errors) if errors else None,
+    }
 
 
 def best_of(point_kwargs, repeats=3):
@@ -257,16 +307,27 @@ def selector_calibration_section(rows):
 
 
 def scale_sweep(points=SCALE_SWEEP_POINTS, repeats=2, nbytes=1 << 20,
-                iterations=2):
-    """Run the standard ladder; returns rows plus the 64-rank speedup."""
+                iterations=2, analyze=True):
+    """Run the standard ladder; returns rows plus the 64-rank speedup.
+
+    With ``analyze=True`` (the default) every point gets one extra
+    *analyzed* pass whose attribution and bucket-level calibration replace
+    the timed row's — timing and attribution never contaminate each other,
+    and the deterministic simulator guarantees both passes agree on virtual
+    time.
+    """
     calibration = machine_calibration_factor()
     rows = []
     for ranks, topology, algorithm in points:
-        row = best_of(
-            {"ranks": ranks, "topology": topology, "algorithm": algorithm,
-             "nbytes": nbytes, "iterations": iterations},
-            repeats=repeats,
-        )
+        point_kwargs = {"ranks": ranks, "topology": topology,
+                        "algorithm": algorithm, "nbytes": nbytes,
+                        "iterations": iterations}
+        row = best_of(point_kwargs, repeats=repeats)
+        if analyze:
+            analyzed = run_scale_point(analyze=True, **point_kwargs)
+            row["attribution"] = analyzed.get("attribution")
+            row["calibration"] = analyzed.get("calibration",
+                                              row.get("calibration"))
         if (ranks == PRE_PR_BASELINE["ranks"]
                 and topology == PRE_PR_BASELINE["topology"]
                 and algorithm == PRE_PR_BASELINE["algorithm"]):

@@ -155,6 +155,12 @@ class PrimitiveExecutor:
         #: immediately consumed by every caller, so allocating a fresh object
         #: each time only feeds the garbage collector.
         self._success_outcome = PrimitiveOutcome(_SUCCESS)
+        #: Optional per-primitive execution trace: a flat ``array('d')`` of
+        #: ``(start_us, end_us, busy_us)`` triples appended per executed
+        #: primitive, attached by ``obs.analysis`` when time attribution is
+        #: requested.  ``None`` (the default) keeps the hot path at one load
+        #: and one identity check per primitive.
+        self.trace = None
 
     # -- introspection ----------------------------------------------------------
 
@@ -277,6 +283,13 @@ class PrimitiveExecutor:
                     _WAIT_SEND, primitive, send_channel.writable_key
                 )
 
+        # Both wait checks passed: the primitive executes now.  ``start`` is
+        # the rank's clock *before* any arrival spin, so the analysis layer
+        # can split recv wait from dilated work.
+        trace = self.trace
+        if trace is not None:
+            trace_start = clock.now
+
         epoch = self.communicator.interconnect.link_epoch
         if epoch != self._cache_epoch:
             self._links.clear()
@@ -346,6 +359,11 @@ class PrimitiveExecutor:
                 key = send_channel.readable_key
                 if key in engine.waiters_by_key or engine.trace is not None:
                     engine.signal(key, clock.now)
+
+        if trace is not None:
+            trace.append(trace_start)
+            trace.append(clock.now)
+            trace.append(busy)
 
         self.position = position + 1
         self.executed_primitives += 1

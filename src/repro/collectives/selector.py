@@ -55,6 +55,15 @@ _TREE_ALLREDUCE_BW_FACTOR = 8.5
 #: (fan-in/fan-out serialization at interior ranks).
 _TREE_HOP_FACTOR = 1.5
 
+#: Extra serialized spine traversals of the double binary tree per cross-pod
+#: edge on its deepest root path.  On a two-level fat-tree the heap-shaped
+#: tree jumps pods on almost every upper level, and each such edge re-pays
+#: the payload over the oversubscribed spine on the critical path — a term
+#: the flat-topology constants above cannot see.  Calibrated against the
+#: measured time-attribution of the 256/512-rank fat-tree ladder points,
+#: like the other constants are calibrated on the dual-server testbed.
+_TREE_SPINE_BW_FACTOR = 2.25
+
 
 @dataclass(frozen=True)
 class LinkParameters:
@@ -148,6 +157,34 @@ class AlgorithmSelector:
         inter_params = self.link_parameters(devices[::island_size])
         return island_size, islands, intra_params, inter_params
 
+    def _tree_inter_pod_cost_us(self, nbytes, device_ids):
+        """Spine re-traversal cost of the tree all-reduce on multi-pod fabrics.
+
+        Counts pod-crossing edges on the deepest root path of the heap-shaped
+        tree (rank ``n-1`` up through ``(i-1)//2`` to the root) and charges
+        :data:`_TREE_SPINE_BW_FACTOR` payload traversals of the spine per
+        crossing.  Zero whenever the topology is single-level or the group
+        sits inside one pod, so flat-topology predictions are unchanged.
+        """
+        if self.interconnect is None or not device_ids:
+            return 0.0
+        topology = getattr(self.interconnect, "topology", None)
+        if topology is None or topology.nodes_per_pod <= 0:
+            return 0.0
+        devices = list(device_ids)
+        crossings = 0
+        index = len(devices) - 1
+        while index > 0:
+            parent = (index - 1) // 2
+            if (topology.pod_of(devices[index].node)
+                    != topology.pod_of(devices[parent].node)):
+                crossings += 1
+            index = parent
+        if not crossings:
+            return 0.0
+        return (_TREE_SPINE_BW_FACTOR * crossings * nbytes
+                / (topology.spine_beta_gbps * 1e3))
+
     # -- predicted costs -------------------------------------------------------
 
     def predicted_cost_us(self, algorithm, kind, nbytes, group_size, device_ids=None,
@@ -192,7 +229,8 @@ class AlgorithmSelector:
             if kind is CollectiveKind.ALL_REDUCE:
                 alpha_term = _TREE_HOP_FACTOR * depth * hop
                 bw_term = _TREE_ALLREDUCE_BW_FACTOR * nbytes / params.bytes_per_us
-                return alpha_term + bw_term
+                return (alpha_term + bw_term
+                        + self._tree_inter_pod_cost_us(nbytes, device_ids))
             per_loop = hop + loop_bytes / params.bytes_per_us
             if kind is CollectiveKind.BROADCAST:
                 # The root forwards the full payload to each of its ~depth
@@ -224,6 +262,95 @@ class AlgorithmSelector:
             return intra_cost + inter_cost
         raise ConfigurationError(f"unknown algorithm {algorithm!r}")
 
+    def predicted_cost_breakdown(self, algorithm, kind, nbytes, group_size,
+                                 device_ids=None, params=None):
+        """Decompose :meth:`predicted_cost_us` into attribution buckets.
+
+        Returns ``{"alpha_us", "beta_us", "memory_us", "overhead_us"}`` —
+        the cost-model side of the buckets the analysis layer measures —
+        summing to the predicted cost (``None`` when the prediction is
+        infinite, e.g. hierarchical without a valid decomposition).  The
+        alpha bucket is the per-message link latency, beta the byte/bandwidth
+        terms (including the tree's inter-pod spine traversals), overhead the
+        fixed per-primitive control cost; the model has no explicit memory
+        term, so ``memory_us`` is always zero here.
+        """
+        zero = {"alpha_us": 0.0, "beta_us": 0.0, "memory_us": 0.0,
+                "overhead_us": 0.0}
+        if group_size <= 1:
+            return zero
+        if params is None:
+            params = self.link_parameters(device_ids)
+        overhead = self.cost_model.primitive_overhead_us
+        n = group_size
+        depth = max(1, math.ceil(math.log2(n + 1)))
+        loop_bytes = min(nbytes, self.chunk_bytes)
+        nloops = max(1, math.ceil(nbytes / self.chunk_bytes))
+
+        def split(hops, alpha_max_us, beta_us):
+            # ``hops`` full latency hops (overhead + alpha each) plus the
+            # bandwidth term: the exact shape of every branch's hop cost.
+            return {"alpha_us": hops * alpha_max_us, "beta_us": beta_us,
+                    "memory_us": 0.0, "overhead_us": hops * overhead}
+
+        if algorithm == ALGORITHM_RING:
+            if kind is CollectiveKind.ALL_REDUCE:
+                steps = 2 * (n - 1)
+                return split(steps, params.alpha_max_us,
+                             steps * (nbytes / n) / params.bytes_per_us)
+            if kind in (CollectiveKind.ALL_GATHER,
+                        CollectiveKind.REDUCE_SCATTER):
+                steps = n - 1
+                return split(steps, params.alpha_max_us,
+                             steps * (nbytes / n) / params.bytes_per_us)
+            fraction = (n - 1) / n
+            return {
+                "alpha_us": (params.alpha_sum_us * fraction
+                             + (nloops - 1) * params.alpha_max_us),
+                "beta_us": (loop_bytes * params.inv_beta_us_per_byte * fraction
+                            + (nloops - 1) * loop_bytes / params.bytes_per_us),
+                "memory_us": 0.0,
+                "overhead_us": ((n - 1) + (nloops - 1)) * overhead,
+            }
+        if algorithm == ALGORITHM_TREE:
+            if kind not in TREE_KINDS:
+                return self.predicted_cost_breakdown(
+                    ALGORITHM_RING, kind, nbytes, group_size, device_ids,
+                    params=params)
+            if kind is CollectiveKind.ALL_REDUCE:
+                hops = _TREE_HOP_FACTOR * depth
+                return split(hops, params.alpha_max_us,
+                             _TREE_ALLREDUCE_BW_FACTOR * nbytes
+                             / params.bytes_per_us
+                             + self._tree_inter_pod_cost_us(nbytes,
+                                                            device_ids))
+            if kind is CollectiveKind.BROADCAST:
+                hops = _TREE_HOP_FACTOR * depth + (nloops - 1) * depth
+            else:
+                hops = 0.75 * depth + (nloops - 1) * 1.5
+            return split(hops, params.alpha_max_us,
+                         hops * loop_bytes / params.bytes_per_us)
+        if algorithm == ALGORITHM_HIERARCHICAL:
+            if kind not in HIERARCHICAL_KINDS:
+                return self.predicted_cost_breakdown(
+                    ALGORITHM_RING, kind, nbytes, group_size, device_ids,
+                    params=params)
+            structure = self.hierarchical_structure(device_ids)
+            if structure is None:
+                return None
+            m, k, intra, inter = structure
+            intra_steps = 2 * (m - 1)
+            inter_steps = 2 * (k - 1)
+            return {
+                "alpha_us": (intra_steps * intra.alpha_max_us
+                             + inter_steps * inter.alpha_max_us),
+                "beta_us": (intra_steps * (nbytes / m) / intra.bytes_per_us
+                            + inter_steps * (nbytes / n) / inter.bytes_per_us),
+                "memory_us": 0.0,
+                "overhead_us": (intra_steps + inter_steps) * overhead,
+            }
+        raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+
     # -- selection -------------------------------------------------------------
 
     def choose(self, kind, nbytes, group_size, device_ids=None):
@@ -239,7 +366,8 @@ class AlgorithmSelector:
         if kind not in TREE_KINDS or group_size <= 2:
             return AlgorithmChoice(ALGORITHM_RING, ring_cost, float("inf"))
         tree_cost = self.predicted_cost_us(ALGORITHM_TREE, kind, nbytes,
-                                           group_size, params=params)
+                                           group_size, device_ids,
+                                           params=params)
         hierarchical_cost = float("inf")
         if kind in HIERARCHICAL_KINDS:
             structure = self.hierarchical_structure(device_ids)

@@ -45,6 +45,9 @@ class RegisteredCollective:
         #: algorithm — carried on every collective span and compared against
         #: measured virtual time in the calibration report.
         self.predicted_cost_us = self._predict_cost(self.devices)
+        #: Per-bucket decomposition of that prediction, matched against the
+        #: measured attribution buckets in ``calibration_report``.
+        self.predicted_breakdown = self._predict_breakdown(self.devices)
         #: The observability hub of the engine the participating devices run
         #: on (``None`` when the devices are unregistered or obs is off).
         engine = self.devices[0].engine if self.devices else None
@@ -71,6 +74,15 @@ class RegisteredCollective:
 
     def _predict_cost(self, devices):
         return self._selector.predicted_cost_us(
+            self.algorithm,
+            self.spec.kind,
+            self.spec.nbytes,
+            len(devices),
+            [device.device_id for device in devices],
+        )
+
+    def _predict_breakdown(self, devices):
+        return self._selector.predicted_cost_breakdown(
             self.algorithm,
             self.spec.kind,
             self.spec.nbytes,
@@ -120,6 +132,8 @@ class RegisteredCollective:
             self.communicator = pool.acquire(self.active_devices(), job=self.job)
             self.algorithm = self._resolve_algorithm(self.active_devices())
             self.predicted_cost_us = self._predict_cost(self.active_devices())
+            self.predicted_breakdown = self._predict_breakdown(
+                self.active_devices())
         self.generation += 1
         return survivors
 
@@ -270,6 +284,19 @@ class Invocation:
             else:
                 executor = self.coll.make_executor(group_rank)
             self._executors[group_rank] = executor
+            obs = self.coll.obs
+            if obs is not None and obs.analysis is not None:
+                coll = self.coll
+                global_ranks = getattr(coll, "global_ranks", None)
+                rank = (global_ranks[group_rank] if global_ranks is not None
+                        else group_rank)
+                obs.analysis.attach(
+                    executor, backend="dfccl", coll_name=coll.name,
+                    invocation_key=("dfccl", coll.coll_id, self.index,
+                                    self.recovery_generation),
+                    owner=self, group_rank=group_rank, track=f"rank{rank}",
+                    job=coll.job, algorithm=coll.algorithm,
+                    kind=coll.spec.kind.value, nbytes=coll.spec.nbytes)
         return executor
 
     def begin_recovery(self, participants, rerun_ranks, communicator):
@@ -340,14 +367,23 @@ class Invocation:
         if obs is not None:
             span = self._spans.pop(group_rank, None)
             if span is not None:
-                obs.tracer.end(span, time_us)
+                executor = self._executors.get(group_rank)
+                if executor is not None:
+                    # Primitive indices on the span: the analysis layer joins
+                    # spans to execution traces through these.
+                    obs.tracer.end(span, time_us,
+                                   primitives=executor.executed_primitives,
+                                   final_position=executor.position)
+                else:
+                    obs.tracer.end(span, time_us)
             if self.fully_complete() and self.submit_times:
                 measured = (max(self.complete_times.values())
                             - min(self.submit_times.values()))
                 obs.record_collective(
                     "dfccl", self.coll.algorithm, self.coll.spec.kind.value,
                     self.coll.spec.nbytes, len(self.expected_ranks()),
-                    measured, predicted_us=self.coll.predicted_cost_us)
+                    measured, predicted_us=self.coll.predicted_cost_us,
+                    predicted_breakdown=self.coll.predicted_breakdown)
 
     def mark_callback_fired(self, group_rank):
         self._callback_fired_ranks.add(group_rank)

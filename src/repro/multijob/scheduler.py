@@ -214,6 +214,8 @@ class ClusterScheduler(Actor):
         self.events.append((now, "place", record.job_id))
         obs = self._obs()
         if obs is not None:
+            obs.metrics.histogram("jobs_queueing_delay_us").observe(
+                max(0.0, now - record.spec.arrival_time_us))
             self._job_spans[record.job_id] = obs.tracer.begin(
                 f"job:{record.job_id}", "job", now,
                 track="lifecycle", job=record.job_id,

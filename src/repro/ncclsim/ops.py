@@ -60,6 +60,12 @@ class NcclCollectiveOp:
             self.algorithm, spec.kind, spec.nbytes, len(self.devices),
             [device.device_id for device in self.devices],
         )
+        #: Per-bucket decomposition of the prediction, for the calibration
+        #: report's mispredicted-bucket feedback.
+        self.predicted_breakdown = selector.predicted_cost_breakdown(
+            self.algorithm, spec.kind, spec.nbytes, len(self.devices),
+            [device.device_id for device in self.devices],
+        )
         engine = self.devices[0].engine if self.devices else None
         obs = engine.obs if engine is not None else None
         self.obs = obs if (obs is not None and obs.enabled) else None
@@ -89,13 +95,22 @@ class NcclCollectiveOp:
             algorithm=self.algorithm,
             island_size=self.island_size,
         )
-        return PrimitiveExecutor(
+        executor = PrimitiveExecutor(
             collective_id=self.op_id,
             group_rank=group_rank,
             communicator=self.communicator,
             primitives=sequence,
             cost_model=self.cost_model,
         )
+        if self.obs is not None and self.obs.analysis is not None:
+            self.obs.analysis.attach(
+                executor, backend="nccl", coll_name=self.name,
+                invocation_key=("nccl", self.op_id), owner=self,
+                group_rank=group_rank,
+                track=self.devices[group_rank].name,
+                algorithm=self.algorithm, kind=self.spec.kind.value,
+                nbytes=self.spec.nbytes)
+        return executor
 
     # -- completion tracking --------------------------------------------------
 
@@ -124,13 +139,18 @@ class NcclCollectiveOp:
         if self.obs is not None:
             kernel = self._kernels.get(group_rank)
             launch = getattr(kernel, "launch_time_us", None)
+            executor = getattr(kernel, "executor", None)
+            attrs = {"group_rank": group_rank,
+                     "algorithm": self.algorithm,
+                     "predicted_cost_us": self.predicted_cost_us}
+            if executor is not None:
+                attrs["primitives"] = executor.executed_primitives
+                attrs["final_position"] = executor.position
             self.obs.tracer.record(
                 self.name, "collective",
                 launch if launch is not None else time_us, time_us,
                 track=self.devices[group_rank].name,
-                attrs={"group_rank": group_rank,
-                       "algorithm": self.algorithm,
-                       "predicted_cost_us": self.predicted_cost_us})
+                attrs=attrs)
             if self.fully_complete():
                 launches = [k.launch_time_us for k in self._kernels.values()
                             if getattr(k, "launch_time_us", None) is not None]
@@ -139,7 +159,8 @@ class NcclCollectiveOp:
                     "nccl", self.algorithm, self.spec.kind.value,
                     self.spec.nbytes, self.group_size,
                     max(self._complete_ranks.values()) - start,
-                    predicted_us=self.predicted_cost_us)
+                    predicted_us=self.predicted_cost_us,
+                    predicted_breakdown=self.predicted_breakdown)
         for fn in self._completion_callbacks.get(group_rank, ()):
             fn()
         if engine is not None:

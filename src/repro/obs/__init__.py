@@ -16,7 +16,17 @@ See ``docs/observability.md`` for the span model and the metric-name
 contract, and :mod:`repro.obs.report` for the CLI front-end.
 """
 
-from repro.obs.links import link_rows, record_link_metrics
+from repro.obs.analysis import (
+    AnalysisLog,
+    analyze_run,
+    critical_path_flows,
+    render_analysis,
+)
+from repro.obs.links import (
+    link_rows,
+    link_utilization_timeline,
+    record_link_metrics,
+)
 from repro.obs.metrics import (
     METRIC_NAMES,
     MetricsRegistry,
@@ -29,14 +39,19 @@ from repro.obs.trace import chrome_trace_events, write_chrome_trace
 
 __all__ = [
     "METRIC_NAMES",
+    "AnalysisLog",
     "MetricsRegistry",
     "Observability",
     "FlightRecorder",
     "Span",
     "SpanTracer",
+    "analyze_run",
     "chrome_trace_events",
+    "critical_path_flows",
     "declare_metric",
     "link_rows",
+    "link_utilization_timeline",
     "record_link_metrics",
+    "render_analysis",
     "write_chrome_trace",
 ]

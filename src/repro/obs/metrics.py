@@ -100,10 +100,18 @@ declare_metric("recovery_abandoned", "counter",
 declare_metric("recovery_invocations_rerun", "counter",
                "Invocations replayed by recovery episodes")
 
+# --- time attribution ------------------------------------------------------
+declare_metric("collective_critical_path_us", "histogram",
+               "Critical-path work time (measured minus queueing) per "
+               "analyzed collective invocation")
+
 # --- multi-tenant scheduler ------------------------------------------------
 declare_metric("jobs_admitted", "gauge", "Jobs admitted by the scheduler")
 declare_metric("jobs_running", "gauge", "Jobs currently placed and running")
 declare_metric("jobs_completed", "gauge", "Jobs that reached a terminal state")
+declare_metric("jobs_queueing_delay_us", "histogram",
+               "Arrival-to-placement delay per job (the scheduler share of "
+               "the queueing attribution bucket)")
 
 # --- mpi backend -----------------------------------------------------------
 declare_metric("mpi_host_staged_ops", "gauge",

@@ -43,6 +43,11 @@ class Observability:
         self.calibration = deque(maxlen=MAX_CALIBRATION_SAMPLES)
         self.dumps = []
         self.last_dump = None
+        #: Time-attribution log (:class:`~repro.obs.analysis.AnalysisLog`),
+        #: ``None`` until :meth:`enable_analysis` opts a run in.  Kept off by
+        #: default: attribution traces every executed primitive, which the
+        #: <10% overhead gate does not budget for.
+        self.analysis = None
         if enabled:
             registry = self.metrics
             registry.gauge_fn("flight_recorder_events",
@@ -52,10 +57,26 @@ class Observability:
             registry.gauge_fn("flight_recorder_dumps",
                               lambda: len(self.dumps))
 
+    # -- time attribution ---------------------------------------------------
+
+    def enable_analysis(self):
+        """Opt this run into critical-path time attribution.
+
+        Must be called before collectives execute: executors built afterwards
+        get per-primitive traces, registered with ``self.analysis``.  Returns
+        the :class:`~repro.obs.analysis.AnalysisLog`.
+        """
+        if self.analysis is None:
+            from repro.obs.analysis import AnalysisLog
+
+            self.analysis = AnalysisLog()
+        return self.analysis
+
     # -- collectives --------------------------------------------------------
 
     def record_collective(self, backend, algorithm, kind, nbytes, group_size,
-                          measured_us, predicted_us=None):
+                          measured_us, predicted_us=None,
+                          predicted_breakdown=None):
         """A collective invocation fully completed: histogram + calibration."""
         self.metrics.counter("collective_invocations").inc()
         self.metrics.histogram(
@@ -67,10 +88,25 @@ class Observability:
                 "backend": backend, "algorithm": algorithm, "kind": kind,
                 "nbytes": nbytes, "group_size": group_size,
                 "predicted_us": predicted_us, "measured_us": measured_us,
+                "predicted_breakdown": predicted_breakdown,
             })
 
     def calibration_report(self):
-        """Aggregate predicted-vs-measured per (backend, algo, kind, size)."""
+        """Aggregate predicted-vs-measured per (backend, algo, kind, size).
+
+        When time attribution ran (:meth:`enable_analysis` +
+        :func:`repro.obs.analysis.analyze_run`), each cell additionally
+        carries the mean *measured* bucket decomposition, the cost model's
+        *predicted* decomposition, and ``mispredicted_bucket`` — the bucket
+        with the largest absolute predicted-vs-measured gap, i.e. which term
+        of the cost model the error lives in.
+        """
+        measured_buckets = {}
+        if self.analysis is not None and self.analysis.results:
+            for inv in self.analysis.results.get("invocations") or ():
+                key = (inv["backend"], inv["algorithm"], inv["kind"],
+                       inv["nbytes"], inv["group_size"])
+                measured_buckets.setdefault(key, []).append(inv["buckets"])
         groups = {}
         for sample in self.calibration:
             key = (sample["backend"], sample["algorithm"], sample["kind"],
@@ -81,7 +117,7 @@ class Observability:
             samples = groups[key]
             predicted = fmean(s["predicted_us"] for s in samples)
             measured = fmean(s["measured_us"] for s in samples)
-            rows.append({
+            row = {
                 "backend": key[0], "algorithm": key[1], "kind": key[2],
                 "nbytes": key[3], "group_size": key[4],
                 "samples": len(samples),
@@ -89,7 +125,30 @@ class Observability:
                 "measured_cost_us": measured,
                 "relative_error": ((measured - predicted) / measured
                                    if measured else None),
-            })
+            }
+            buckets = measured_buckets.get(key)
+            if buckets:
+                mean_measured = {
+                    name: fmean(b[name] for b in buckets)
+                    for name in buckets[0]
+                }
+                breakdowns = [s["predicted_breakdown"] for s in samples
+                              if s.get("predicted_breakdown")]
+                mean_predicted = {}
+                if breakdowns:
+                    for name in breakdowns[0]:
+                        mean_predicted[name] = fmean(
+                            b.get(name, 0.0) for b in breakdowns)
+                gaps = {
+                    name: mean_measured[name] - mean_predicted.get(name, 0.0)
+                    for name in mean_measured if name != "residual_us"
+                }
+                worst = max(gaps, key=lambda name: abs(gaps[name]))
+                row["measured_buckets"] = mean_measured
+                row["predicted_buckets"] = mean_predicted
+                row["mispredicted_bucket"] = worst
+                row["mispredicted_gap_us"] = gaps[worst]
+            rows.append(row)
         return rows
 
     # -- flight-recorder dumps ----------------------------------------------

@@ -54,13 +54,19 @@ def render_summary(obs, title="repro run summary"):
 
 
 def demo_run(ranks=8, backend="dfccl", nbytes=1 << 20, iterations=2,
-             topology=None):
-    """Run a traced all-reduce workload; returns (cluster, backend)."""
+             topology=None, analyze=False):
+    """Run a traced all-reduce workload; returns (cluster, backend).
+
+    ``analyze=True`` opts the run into critical-path time attribution
+    (``obs.enable_analysis()`` before any collective executes).
+    """
     from repro.api import make_backend, wait_all
     from repro.gpusim import HostProgram, build_cluster
     from repro.testing import topology_for_world
 
     cluster = build_cluster(topology or topology_for_world(ranks))
+    if analyze:
+        cluster.engine.obs.enable_analysis()
     backend_obj = make_backend(backend, cluster)
     group = backend_obj.new_group(list(range(ranks)))
     programs = []
@@ -89,26 +95,70 @@ def main(argv=None):
                         help="write metrics + calibration as JSON")
     parser.add_argument("--prometheus", dest="prom_path", default=None,
                         help="write the Prometheus text exposition")
+    parser.add_argument("--analyze", action="store_true",
+                        help="critical-path time attribution: per-bucket "
+                             "table per invocation; exits 1 if any "
+                             "decomposition misses conservation by >1%%")
+    parser.add_argument("--trace", dest="trace_path", default=None,
+                        help="write a chrome trace (with critical-path flow "
+                             "arrows under --analyze)")
     args = parser.parse_args(argv)
 
     cluster, backend_obj = demo_run(
         ranks=args.ranks, backend=args.backend, nbytes=args.nbytes,
-        iterations=args.iterations, topology=args.topology)
+        iterations=args.iterations, topology=args.topology,
+        analyze=args.analyze)
     obs = cluster.engine.obs
     title = (f"{args.backend} all-reduce x{args.iterations} "
              f"({args.ranks} ranks, {args.nbytes} bytes)")
     print(render_summary(obs, title=title))
+    conserved = True
+    flows = None
+    if args.analyze:
+        from repro.obs.analysis import (
+            analyze_run,
+            critical_path_flows,
+            render_analysis,
+        )
+        from repro.obs.links import link_utilization_timeline
+
+        results = analyze_run(obs)
+        print()
+        print(render_analysis(results))
+        timeline = link_utilization_timeline(obs)
+        busiest = max(
+            (window["utilization"], link["src"], link["dst"])
+            for link in timeline["links"] for window in link["windows"]
+        ) if timeline["links"] else None
+        if busiest is not None:
+            print(f"\nlink timeline: {len(timeline['links'])} links in "
+                  f"{timeline['window_us']:.0f}us windows; busiest "
+                  f"{busiest[1]}->{busiest[2]} at {busiest[0]:.2f} "
+                  "utilization")
+        flows = critical_path_flows(results)
+        conserved = all(inv["conservation_error"] <= 0.01
+                        for inv in results["invocations"])
+        if not conserved:
+            print("\nCONSERVATION VIOLATED: attributed buckets stray >1% "
+                  "from measured virtual time")
+    if args.trace_path:
+        from repro.obs.trace import write_chrome_trace
+
+        count = write_chrome_trace(obs, args.trace_path, flows=flows)
+        print(f"\nwrote {args.trace_path} ({count} events)")
     if args.json_path:
+        document = {"metrics": obs.metrics.snapshot(),
+                    "calibration": obs.calibration_report()}
+        if args.analyze:
+            document["analysis"] = obs.analysis.results
         with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump({"metrics": obs.metrics.snapshot(),
-                       "calibration": obs.calibration_report()},
-                      handle, indent=2, sort_keys=True, default=str)
+            json.dump(document, handle, indent=2, sort_keys=True, default=str)
         print(f"\nwrote {args.json_path}")
     if args.prom_path:
         with open(args.prom_path, "w", encoding="utf-8") as handle:
             handle.write(obs.metrics.to_prometheus_text())
         print(f"wrote {args.prom_path}")
-    return 0
+    return 0 if conserved else 1
 
 
 if __name__ == "__main__":

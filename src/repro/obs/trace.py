@@ -45,7 +45,9 @@ def _actor_slices(steps, events, pid, first_tid):
 
 
 def _span_events(spans, events, pid):
-    """Span "X" rows (one thread per track) plus an in-flight counter."""
+    """Span "X" rows (one thread per track) plus an in-flight counter.
+
+    Returns the track -> tid map so flow events can target the rows."""
     tracks = sorted({span.track or "spans" for span in spans}, key=str)
     tids = {track: tid for tid, track in enumerate(tracks, start=1)}
     for track, tid in tids.items():
@@ -71,10 +73,44 @@ def _span_events(spans, events, pid):
         events.append({"name": "inflight_collectives", "ph": "C", "ts": ts,
                        "pid": pid, "tid": 0,
                        "args": {"collectives": inflight}})
+    return tids
 
 
-def chrome_trace_events(obs, process_name="repro-engine"):
-    """Convert an observability hub's recorded state to trace-event objects."""
+def _flow_events(flows, events, track_maps):
+    """Matched send->recv arrows: paired "s"/"f" flow events.
+
+    Each flow dict names a (job, track, ts) source and destination (the shape
+    :func:`repro.obs.analysis.critical_path_flows` produces).  Flows whose
+    track has no span row (e.g. evicted from the bounded ring) are skipped —
+    the exporter stays valid with any subset of flows, including none.
+    """
+    for flow in flows:
+        pid, tids = track_maps.get(flow.get("job"), (None, None))
+        if tids is None:
+            continue
+        tid_from = tids.get(flow["from_track"])
+        tid_to = tids.get(flow["to_track"])
+        if tid_from is None or tid_to is None:
+            continue
+        name = flow.get("name", "flow")
+        category = flow.get("category", "flow")
+        flow_id = flow["id"]
+        events.append({"name": name, "cat": category, "ph": "s",
+                       "id": flow_id, "pid": pid, "tid": tid_from,
+                       "ts": flow["ts_from"]})
+        events.append({"name": name, "cat": category, "ph": "f", "bp": "e",
+                       "id": flow_id, "pid": pid, "tid": tid_to,
+                       "ts": flow["ts_to"]})
+
+
+def chrome_trace_events(obs, process_name="repro-engine", flows=None):
+    """Convert an observability hub's recorded state to trace-event objects.
+
+    ``flows`` (optional) is a list of flow specs — see
+    :func:`repro.obs.analysis.critical_path_flows` — rendered as arrows
+    between the span rows they name.  The output is a valid trace with or
+    without them.
+    """
     recorder = obs.recorder
     events = [{"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
                "args": {"name": process_name}}]
@@ -89,25 +125,28 @@ def chrome_trace_events(obs, process_name="repro-engine"):
     jobless = [span for span in spans if span.job is None]
     jobs = sorted({span.job for span in spans if span.job is not None},
                   key=str)
+    track_maps = {}
     if jobless:
         events.append({"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
                        "args": {"name": "collectives"}})
-        _span_events(jobless, events, pid=1)
+        track_maps[None] = (1, _span_events(jobless, events, pid=1))
     for pid, job in enumerate(jobs, start=2):
         events.append({"name": "process_name", "ph": "M", "pid": pid,
                        "tid": 0, "args": {"name": f"job:{job}"}})
-        _span_events([span for span in spans if span.job == job],
-                     events, pid=pid)
+        track_maps[job] = (pid, _span_events(
+            [span for span in spans if span.job == job], events, pid=pid))
+    if flows:
+        _flow_events(flows, events, track_maps)
     return events
 
 
-def write_chrome_trace(obs, path, process_name="repro-engine"):
+def write_chrome_trace(obs, path, process_name="repro-engine", flows=None):
     """Write an observability trace as a ``chrome://tracing`` JSON file.
 
     Returns the number of events written.  ``path`` may be a filesystem path
     or an open text file.
     """
-    events = chrome_trace_events(obs, process_name=process_name)
+    events = chrome_trace_events(obs, process_name=process_name, flows=flows)
     document = {"traceEvents": events, "displayTimeUnit": "ms"}
     if hasattr(path, "write"):
         json.dump(document, path)

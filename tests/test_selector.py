@@ -156,3 +156,77 @@ class TestHierarchicalSelection:
 
     def test_config_accepts_hierarchical(self):
         DfcclConfig(algorithm="hierarchical").validate()
+
+
+class TestTreeInterPodTerm:
+    """The tree all-reduce's spine re-traversal cost on two-level fabrics."""
+
+    def test_single_level_topologies_pay_nothing(self):
+        # Flat dual-server and one-pod fat-trees have no spine; the inter-pod
+        # term must vanish so their calibrated predictions stay unchanged.
+        for selector, device_ids in (dual_server_selector(),
+                                     fat_tree_selector(32)):
+            assert selector._tree_inter_pod_cost_us(1 << 20, device_ids) == 0.0
+
+    def test_two_level_fat_tree_charges_the_spine(self):
+        selector, device_ids = fat_tree_selector(512)
+        extra = selector._tree_inter_pod_cost_us(1 << 20, device_ids)
+        assert extra > 0.0
+        with_term = selector.predicted_cost_us(
+            "tree", CollectiveKind.ALL_REDUCE, 1 << 20, 512, device_ids)
+        without = selector.predicted_cost_us(
+            "tree", CollectiveKind.ALL_REDUCE, 1 << 20, 512,
+            params=selector.link_parameters(device_ids))
+        assert with_term == pytest.approx(without + extra)
+
+    def test_term_scales_with_pod_crossings(self):
+        # 512 ranks (16 pods) cross pods more often on the deepest root path
+        # than 256 ranks (8 pods): the charge must grow with fabric depth.
+        selector_512, ids_512 = fat_tree_selector(512)
+        selector_256, ids_256 = fat_tree_selector(256)
+        assert (selector_512._tree_inter_pod_cost_us(1 << 20, ids_512)
+                > selector_256._tree_inter_pod_cost_us(1 << 20, ids_256))
+
+
+class TestPredictedCostBreakdown:
+    """The per-bucket decomposition must sum to the scalar prediction."""
+
+    def _assert_consistent(self, selector, device_ids, algorithm, kind,
+                           nbytes, group_size):
+        breakdown = selector.predicted_cost_breakdown(
+            algorithm, kind, nbytes, group_size, device_ids)
+        total = selector.predicted_cost_us(algorithm, kind, nbytes,
+                                           group_size, device_ids)
+        assert set(breakdown) == {"alpha_us", "beta_us", "memory_us",
+                                  "overhead_us"}
+        assert sum(breakdown.values()) == pytest.approx(total, rel=1e-9)
+
+    def test_every_algorithm_and_kind_sums(self):
+        selector, device_ids = fat_tree_selector(64)
+        kinds = (CollectiveKind.ALL_REDUCE, CollectiveKind.ALL_GATHER,
+                 CollectiveKind.REDUCE_SCATTER, CollectiveKind.BROADCAST,
+                 CollectiveKind.REDUCE, CollectiveKind.SEND_RECV)
+        for algorithm in ("ring", "tree", "hierarchical"):
+            for kind in kinds:
+                for nbytes in (512, 1 << 20):
+                    self._assert_consistent(selector, device_ids, algorithm,
+                                            kind, nbytes, 64)
+
+    def test_two_level_tree_breakdown_includes_spine_term(self):
+        selector, device_ids = fat_tree_selector(512)
+        self._assert_consistent(selector, device_ids, "tree",
+                                CollectiveKind.ALL_REDUCE, 1 << 20, 512)
+
+    def test_invalid_hierarchical_structure_returns_none(self):
+        selector, device_ids = fat_tree_selector(64)
+        interleaved = [device_ids[rank % 8 * 8 + rank // 8]
+                       for rank in range(64)]
+        assert selector.predicted_cost_breakdown(
+            "hierarchical", CollectiveKind.ALL_REDUCE, 1 << 20, 64,
+            interleaved) is None
+
+    def test_trivial_groups_are_all_zero(self):
+        selector, device_ids = dual_server_selector()
+        breakdown = selector.predicted_cost_breakdown(
+            "ring", CollectiveKind.ALL_REDUCE, 1 << 20, 1, device_ids[:1])
+        assert sum(breakdown.values()) == 0.0
