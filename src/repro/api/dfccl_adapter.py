@@ -133,6 +133,12 @@ class DfcclCollectiveBackend(CollectiveBackend):
                               lambda: self.dfccl.pool.stats()["reused"])
             registry.gauge_fn("pool_active",
                               lambda: self.dfccl.pool.stats()["active"])
+            registry.gauge_fn("pool_discarded",
+                              lambda: self.dfccl.pool.stats()["discarded"])
+            registry.gauge_fn("pool_free",
+                              lambda: self.dfccl.pool.stats()["free"])
+            registry.gauge_fn("pool_double_releases",
+                              lambda: self.dfccl.pool.stats()["double_releases"])
             registry.gauge_fn("daemon_launches",
                               lambda: self._daemon_total("launches"))
             registry.gauge_fn("daemon_preemptions",
@@ -190,6 +196,45 @@ class DfcclCollectiveBackend(CollectiveBackend):
             # quit voluntarily once every tenant drained.
             return []
         return [self.dfccl.destroy_op(rank)]
+
+    def quiesce(self, time_us):
+        """Abort this view's unresolved invocation parts (job preemption).
+
+        The control plane evicts a placed job by killing its rank processes
+        mid-run; their submitted collective parts would otherwise sit in the
+        daemon task queues forever, holding outstanding accounting and SQ/CQ
+        slots.  Aborting each unresolved part releases the accounting and
+        makes the daemon kernels drop the matching task entries lazily (the
+        same mechanism recovery's abandon path uses).  A collective caught
+        mid-invocation gets its communicator invalidated — its channels may
+        hold half-delivered chunks and must be discarded, not recycled — while
+        a collective preempted at an invocation boundary keeps its
+        communicator clean for pooled reuse when the job resumes.  Returns
+        the number of rank parts aborted.
+        """
+        aborted = 0
+        seen = set()
+        for coll in list(self._collectives.values()):
+            if id(coll) in seen or coll.abandoned:
+                continue
+            seen.add(id(coll))
+            dirty = False
+            for invocation in coll.invocations:
+                if invocation.fully_complete():
+                    continue
+                if not invocation.submit_times and not invocation.complete_times:
+                    continue  # created but never touched: nothing to abort
+                dirty = True
+                for rank in sorted(invocation.expected_ranks()):
+                    if coll.devices[rank].failed:
+                        continue
+                    ctx = self.dfccl.contexts.get(coll.global_ranks[rank])
+                    if ctx is not None and ctx.abort_invocation(invocation,
+                                                                time_us):
+                        aborted += 1
+            if dirty and not coll.communicator.invalidated:
+                coll.communicator.invalidate()
+        return aborted
 
     def unregister_all(self):
         """Unregister this view's collectives, recycling their communicators.

@@ -21,6 +21,12 @@ from repro.bench.deadlock_experiments import (
     sec61_sync_program,
     deadlock_sensitivity_sweep,
 )
+from repro.bench.controlplane_experiments import (
+    controlplane_job_stream,
+    preemption_ablation,
+    preemption_slo_sweep,
+    run_controlplane,
+)
 from repro.bench.fault_experiments import (
     CHAOS_PLANS,
     goodput_under_chaos,
@@ -59,8 +65,12 @@ __all__ = [
     "selector_report",
     "speedup_vs_pre_pr",
     "write_scale_report",
+    "controlplane_job_stream",
     "deadlock_ratio_sweep",
     "deadlock_sensitivity_sweep",
+    "preemption_ablation",
+    "preemption_slo_sweep",
+    "run_controlplane",
     "goodput_under_chaos",
     "measure_recovery",
     "multijob_policy_comparison",

@@ -57,7 +57,7 @@ def run_multijob(backend="dfccl", policy="packed", topology="dual-3090",
                  max_resident_blocks=SHARED_CLUSTER_BLOCKS,
                  launch_jitter_us=300.0, interference="default",
                  fault_plan=None, deadline_us=MULTIJOB_DEADLINE_US,
-                 config=None, trace=None):
+                 config=None):
     """Run one seeded job stream on one shared cluster.
 
     ``interference="default"`` applies the standard
@@ -78,8 +78,6 @@ def run_multijob(backend="dfccl", policy="packed", topology="dual-3090",
         max_resident_blocks=max_resident_blocks,
         interference=interference,
     )
-    if trace is not None:
-        cluster.engine.trace = trace
     runner_kwargs = {"launch_jitter_us": launch_jitter_us, "seed": seed}
     if config is not None:
         # Forwarded to the backend factory; factories that cannot honour a

@@ -327,9 +327,9 @@ class PrimitiveExecutor:
             if engine is not None:
                 # Fast path: a signal with no registered waiter is a no-op, so
                 # consult the engine's public waiter table before paying the
-                # call (with tracing on, always signal() for the log).
+                # call.
                 key = recv_channel.writable_key
-                if key in engine.waiters_by_key or engine.trace is not None:
+                if key in engine.waiters_by_key:
                     engine.signal(key, clock.now)
 
         # clock.advance(busy) inlined: busy is a cached non-negative cost.
@@ -357,7 +357,7 @@ class PrimitiveExecutor:
             send_channel.bytes_pushed += primitive.nbytes
             if engine is not None:
                 key = send_channel.readable_key
-                if key in engine.waiters_by_key or engine.trace is not None:
+                if key in engine.waiters_by_key:
                     engine.signal(key, clock.now)
 
         if trace is not None:

@@ -1,0 +1,16 @@
+"""Control plane: scheduler-as-a-service over the multi-tenant cluster.
+
+Builds on :mod:`repro.multijob` — live job submission, per-tenant admission
+control, priority preemption with checkpoint/restore, elastic cluster growth
+and rank rejoin, and job migration.  See ``docs/controlplane.md``.
+"""
+
+from repro.controlplane.checkpoint import JobCheckpoint, collective_fingerprints
+from repro.controlplane.service import ControlPlane, install_control_plane
+
+__all__ = [
+    "ControlPlane",
+    "JobCheckpoint",
+    "collective_fingerprints",
+    "install_control_plane",
+]

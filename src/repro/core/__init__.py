@@ -2,10 +2,10 @@
 
 The package mirrors the architecture of Fig. 4:
 
-* CPU side: the rank context with its user-facing API (``dfccl_init``,
-  ``dfccl_register_*``, ``dfccl_run_*``, ``dfccl_destroy``), the submission
-  queue (SQ), the completion queue (CQ, in three implementation variants), the
-  callback map, and the poller thread.
+* CPU side: the rank context driven through :class:`DfcclBackend` (init /
+  register / submit / destroy), the submission queue (SQ), the completion
+  queue (CQ, in three implementation variants), the callback map, and the
+  poller thread.
 * GPU side: the daemon kernel, which fetches SQEs, keeps collectives in its
   task queue, executes their primitives in a two-phase-blocking manner with
   spin thresholds, preempts stuck collectives via context switch, writes CQEs,
@@ -21,7 +21,7 @@ from repro.core.communicator_pool import CommunicatorPool
 from repro.core.config import DfcclConfig
 from repro.core.context import CollectiveContextBuffer, ActiveContextCache
 from repro.core.daemon import DaemonKernel
-from repro.core.profiler import AutoProfiler, chrome_trace_events, write_chrome_trace
+from repro.core.profiler import AutoProfiler
 from repro.core.recovery import RecoveryEvent, RecoveryManager, RecoveryStats
 from repro.core.queues import (
     CompletionQueueBase,
@@ -64,7 +64,5 @@ __all__ = [
     "SubmissionQueue",
     "TaskQueue",
     "VanillaRingCQ",
-    "chrome_trace_events",
     "make_completion_queue",
-    "write_chrome_trace",
 ]

@@ -195,7 +195,16 @@ class RankContext:
         self.ensure_daemon_running(time_us)
 
     def invocation_for_sqe(self, sqe):
-        coll = self.registered[sqe.coll_id]
+        """Resolve a fetched SQE, or ``None`` if its collective is gone.
+
+        A ``None`` is only reachable through preemption: the job's rank
+        process was killed and its collectives unregistered after the SQE
+        was pushed but before any daemon block fetched it.  The daemon
+        drops such stale SQEs.
+        """
+        coll = self.registered.get(sqe.coll_id)
+        if coll is None:
+            return None
         return coll.invocation(sqe.invocation_id)
 
     def note_entry_fetched(self, invocation, priority):
@@ -528,70 +537,3 @@ class DfcclBackend:
     def memory_overhead_report(self, num_collectives=None):
         count = num_collectives if num_collectives is not None else len(self._collectives)
         return memory_overhead_report(self.config, count)
-
-
-# -- deprecated paper-literal shims -------------------------------------------------
-#
-# The Listing-1 names (``dfcclInit`` / ``dfcclRegister*`` / ``dfcclRun*`` /
-# ``dfcclDestroy``) predate the unified :mod:`repro.api` front-end.  They are
-# kept as thin delegating shims so paper-era scripts keep running, but every
-# call emits a :class:`DeprecationWarning`; new code should go through
-# ``repro.api.make_backend(...)`` and :class:`~repro.api.ProcessGroup`.
-
-
-def _deprecated(old, new):
-    import warnings
-
-    warnings.warn(
-        f"{old} is deprecated; use {new} from repro.api instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def dfccl_init(backend, global_rank):
-    """Deprecated ``dfcclInit``: create the rank context for one GPU."""
-    _deprecated("dfccl_init", "make_backend('dfccl', cluster).new_group(...)")
-    return backend.init_rank(global_rank)
-
-
-def dfccl_register_all_reduce(backend, coll_id, count, ranks=None, **kwargs):
-    """Deprecated ``dfcclRegisterAllReduce``."""
-    _deprecated("dfccl_register_all_reduce", "ProcessGroup.all_reduce")
-    return backend.register_all_reduce(coll_id, count, ranks, **kwargs)
-
-
-def dfccl_register_all_gather(backend, coll_id, count, ranks=None, **kwargs):
-    """Deprecated ``dfcclRegisterAllGather``."""
-    _deprecated("dfccl_register_all_gather", "ProcessGroup.all_gather")
-    return backend.register_all_gather(coll_id, count, ranks, **kwargs)
-
-
-def dfccl_register_reduce_scatter(backend, coll_id, count, ranks=None, **kwargs):
-    """Deprecated ``dfcclRegisterReduceScatter``."""
-    _deprecated("dfccl_register_reduce_scatter", "ProcessGroup.reduce_scatter")
-    return backend.register_reduce_scatter(coll_id, count, ranks, **kwargs)
-
-
-def dfccl_register_broadcast(backend, coll_id, count, ranks=None, **kwargs):
-    """Deprecated ``dfcclRegisterBroadcast``."""
-    _deprecated("dfccl_register_broadcast", "ProcessGroup.broadcast")
-    return backend.register_broadcast(coll_id, count, ranks, **kwargs)
-
-
-def dfccl_register_reduce(backend, coll_id, count, ranks=None, **kwargs):
-    """Deprecated ``dfcclRegisterReduce``."""
-    _deprecated("dfccl_register_reduce", "ProcessGroup.reduce")
-    return backend.register_reduce(coll_id, count, ranks, **kwargs)
-
-
-def dfccl_run(backend, global_rank, coll_id, callback=None):
-    """Deprecated ``dfcclRun*``: submit one invocation, returning its handle."""
-    _deprecated("dfccl_run", "ProcessGroup collective calls returning Work futures")
-    return backend.submit(global_rank, coll_id, callback=callback)
-
-
-def dfccl_destroy(backend, global_rank):
-    """Deprecated ``dfcclDestroy``: host op tearing the rank context down."""
-    _deprecated("dfccl_destroy", "CollectiveBackend.finalize_ops")
-    return backend.destroy_op(global_rank)

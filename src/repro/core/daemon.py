@@ -106,6 +106,13 @@ class DaemonKernel(KernelActor):
                 self._final_exit_requested = True
                 continue
             invocation = self.ctx.invocation_for_sqe(sqe)
+            if invocation is None:
+                # The collective was unregistered between the host's SQE push
+                # and this fetch — a preempted job's rank process was killed
+                # and its registrations torn down.  The stale SQE is dropped
+                # exactly like an abandoned task entry would be.
+                self.stats.stale_sqes_dropped += 1
+                continue
             entry = self._adopt_invocation(invocation, sqe.priority)
             self.ctx.note_entry_fetched(invocation, sqe.priority)
             self.task_queue.record_length(entry.coll_id)

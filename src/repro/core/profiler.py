@@ -8,17 +8,13 @@ The profiler estimates the expected peer skew from the link parameters and the
 collectives that will be registered, and picks an initial spin threshold and a
 voluntary-quit period near the Pareto knee.
 
-The module's chrome-trace helpers are deprecated shims over
-:mod:`repro.obs.trace`: the engine now records step events always-on into a
-bounded flight recorder (``engine.obs.recorder``), and the span-aware
-exporter there replaces the unbounded ``Engine(trace=[...])`` list.  The
-shims keep the legacy list-of-tuples signature working for one release.
+Trace export lives in :mod:`repro.obs.trace`: the engine records step events
+always-on into a bounded flight recorder (``engine.obs.recorder``), and the
+span-aware exporter there renders chrome traces from it.
 """
 
 from __future__ import annotations
 
-import json
-import warnings
 from dataclasses import dataclass
 
 from repro.common.types import LinkType
@@ -91,79 +87,3 @@ class AutoProfiler:
         """The paper's qualitative overhead expression ``T ~ N + 1/N`` (expr. 2)."""
         normalized = max(spin_threshold, 1e-9) / max(scale, 1e-9)
         return normalized + 1.0 / normalized
-
-
-# -- Chrome-trace export of engine events (deprecated shims) ------------------------
-
-_DEPRECATION = (
-    "repro.core.profiler.{name} is deprecated: the engine records step events "
-    "always-on in the bounded flight recorder (engine.obs.recorder); export "
-    "with repro.obs.trace.chrome_trace_events / write_chrome_trace instead"
-)
-
-
-def _trace_events(trace, process_name):
-    by_actor = {}
-    for time_us, actor, status, detail in trace:
-        by_actor.setdefault(actor, []).append((float(time_us), status, detail))
-
-    events = [{
-        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
-        "args": {"name": process_name},
-    }]
-    for tid, (actor, records) in enumerate(sorted(by_actor.items()), start=1):
-        events.append({
-            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
-            "args": {"name": actor},
-        })
-        previous = records[0][0]
-        for index, (time_us, status, detail) in enumerate(records):
-            start = previous if index > 0 else time_us
-            events.append({
-                "name": detail or status,
-                "cat": status,
-                "ph": "X",
-                "ts": start,
-                "dur": max(0.0, time_us - start),
-                "pid": 0,
-                "tid": tid,
-                "args": {"status": status},
-            })
-            previous = time_us
-    return events
-
-
-def chrome_trace_events(trace, process_name="repro-engine"):
-    """Convert legacy engine trace records to Chrome trace-event JSON objects.
-
-    Deprecated: use :func:`repro.obs.trace.chrome_trace_events`, which reads
-    the always-on flight recorder and adds span/counter tracks.  ``trace`` is
-    the list collected by the deprecated ``Engine(trace=[...])``: tuples of
-    ``(time_us, actor_name, status, detail)`` appended *after* each actor
-    step.  Each actor becomes one thread row; the span between an actor's
-    consecutive records becomes a complete ("X") event named by the work that
-    ended at the span's close.  Timestamps are virtual microseconds, which is
-    exactly the unit the trace-event format expects.
-    """
-    warnings.warn(_DEPRECATION.format(name="chrome_trace_events"),
-                  DeprecationWarning, stacklevel=2)
-    return _trace_events(trace, process_name)
-
-
-def write_chrome_trace(trace, path, process_name="repro-engine"):
-    """Write a legacy engine trace as a ``chrome://tracing`` JSON file.
-
-    Deprecated: use :func:`repro.obs.trace.write_chrome_trace`.  Returns the
-    number of events written.  ``path`` may be a filesystem path or an open
-    text file.
-    """
-    warnings.warn(_DEPRECATION.format(name="write_chrome_trace"),
-                  DeprecationWarning, stacklevel=2)
-    events = _trace_events(trace, process_name)
-    document = {"traceEvents": events, "displayTimeUnit": "ms"}
-    if hasattr(path, "write"):
-        json.dump(document, path)
-    else:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(document, handle)
-    return len(events)

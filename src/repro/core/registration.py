@@ -137,6 +137,34 @@ class RegisteredCollective:
         self.generation += 1
         return survivors
 
+    def grow(self, replacements, pool):
+        """Re-admit excluded group ranks on replacement devices (rejoin).
+
+        The inverse of :meth:`shrink`: ``replacements`` maps excluded group
+        ranks to the fresh devices taking their seats.  The communicator is
+        rebuilt over the re-grown active device set, the algorithm choice and
+        cost predictions are re-resolved (group size changed back), and the
+        generation is bumped so stale executors are never adopted.  Only
+        affects invocations created after the grow; completed invocations
+        keep their shrunken-group completion signatures.  Returns the active
+        group ranks after the grow.
+        """
+        relevant = {rank: device for rank, device in replacements.items()
+                    if rank in self.excluded_ranks}
+        if not relevant:
+            return self.active_ranks()
+        pool.release(self.communicator)
+        for rank, device in relevant.items():
+            self.devices[rank] = device
+            self.excluded_ranks.discard(rank)
+        active = self.active_devices()
+        self.communicator = pool.acquire(active, job=self.job)
+        self.algorithm = self._resolve_algorithm(active)
+        self.predicted_cost_us = self._predict_cost(active)
+        self.predicted_breakdown = self._predict_breakdown(active)
+        self.generation += 1
+        return self.active_ranks()
+
     @property
     def grid_size(self):
         """Blocks the collective would need (drives the daemon's launch shape)."""

@@ -203,6 +203,9 @@ class DaemonStats:
     final_exits: int = 0
     recovery_restarts: int = 0
     sqes_read: int = 0
+    #: SQEs whose collective was unregistered before the fetch (a preempted
+    #: job's rank process was killed between push and fetch); dropped lazily.
+    stale_sqes_dropped: int = 0
     cqes_written: int = 0
     preemptions: int = 0
     spin_polls: int = 0

@@ -152,26 +152,39 @@ class Cluster:
         self._devices_by_id = {}
         self._pinned = {}
         self.hosts = {}
+        #: Construction knobs, kept so :meth:`add_node` builds growth nodes
+        #: with the same overrides as the original ones.
+        self._max_resident_blocks = max_resident_blocks
+        self._interference = interference
 
         for node_index, node in enumerate(spec.nodes):
-            self._pinned[node_index] = PinnedHostAllocator()
-            for local_rank in range(node.num_gpus):
-                device_id = DeviceId(node=node_index, local_rank=local_rank)
-                device = GpuDevice(
-                    device_id,
-                    max_resident_blocks=(
-                        max_resident_blocks
-                        if max_resident_blocks is not None
-                        else node.max_resident_blocks
-                    ),
-                    memory=GpuMemoryModel(global_bytes=node.gpu_memory_bytes),
-                    interference=interference,
-                )
-                self.devices.append(device)
-                self._devices_by_id[device_id] = device
+            self._build_node(node_index, node)
         # Batch registration: a 512-rank fat-tree registers every device in
         # one heapify instead of one sift-up per GPU.
         self.engine.add_actors(self.devices)
+
+    def _build_node(self, node_index, node, time_us=None):
+        """Instantiate one node's devices (without engine registration)."""
+        self._pinned[node_index] = PinnedHostAllocator()
+        added = []
+        for local_rank in range(node.num_gpus):
+            device_id = DeviceId(node=node_index, local_rank=local_rank)
+            device = GpuDevice(
+                device_id,
+                max_resident_blocks=(
+                    self._max_resident_blocks
+                    if self._max_resident_blocks is not None
+                    else node.max_resident_blocks
+                ),
+                memory=GpuMemoryModel(global_bytes=node.gpu_memory_bytes),
+                interference=self._interference,
+            )
+            if time_us is not None:
+                device.clock.advance_to(time_us)
+            self.devices.append(device)
+            self._devices_by_id[device_id] = device
+            added.append(device)
+        return added
 
     # -- lookups --------------------------------------------------------------
 
@@ -239,6 +252,32 @@ class Cluster:
     def add_hosts(self, programs):
         """Create one host per rank from a list of programs (index = rank)."""
         return [self.add_host(rank, program) for rank, program in enumerate(programs)]
+
+    # -- elastic growth ----------------------------------------------------------
+
+    def add_node(self, node=None, time_us=None):
+        """Append one server to a live cluster (elastic world growth).
+
+        The new node's GPUs take the next global ranks (row-major ordering
+        over nodes is preserved, so existing ranks are stable) and join the
+        interconnect through the same arithmetic domain derivation as the
+        original devices.  ``time_us`` starts the new devices mid-simulation
+        so none of their work appears to happen in the past.  Returns the
+        added devices.
+        """
+        if node is None:
+            template = self.spec.nodes[-1]
+            node = NodeSpec(
+                name=f"{template.name}-grow{len(self.spec.nodes)}",
+                num_gpus=template.num_gpus,
+                gpu_memory_bytes=template.gpu_memory_bytes,
+                max_resident_blocks=template.max_resident_blocks,
+            )
+        node_index = len(self.spec.nodes)
+        self.spec.nodes.append(node)
+        added = self._build_node(node_index, node, time_us=time_us)
+        self.engine.add_actors(added)
+        return added
 
     # -- running ----------------------------------------------------------------
 

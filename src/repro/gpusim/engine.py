@@ -40,7 +40,6 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -153,19 +152,12 @@ class Engine:
     #: How many recent signal keys to retain for debugging.
     SIGNAL_LOG_LIMIT = 4096
 
-    def __init__(self, deadlock_mode="raise", max_steps=50_000_000, trace=None,
+    def __init__(self, deadlock_mode="raise", max_steps=50_000_000,
                  observability=None):
         if deadlock_mode not in ("raise", "record"):
             raise ValueError(f"unknown deadlock_mode {deadlock_mode!r}")
         self.deadlock_mode = deadlock_mode
         self.max_steps = max_steps
-        if trace is not None:
-            warnings.warn(
-                "Engine(trace=[...]) is deprecated: the bounded flight "
-                "recorder (engine.obs.recorder) now records step events "
-                "always-on; export with repro.obs.trace.chrome_trace_events",
-                DeprecationWarning, stacklevel=2)
-        self.trace = trace
         #: The observability hub — always present; pass
         #: ``Observability(enabled=False)`` to opt out of recording.
         self.obs = observability if observability is not None else Observability()
@@ -348,6 +340,32 @@ class Engine:
         for key in keys:
             self._waiters.setdefault(key, set()).add(actor)
 
+    def wake_actor(self, actor, time_us=None):
+        """Make one blocked *or sleeping* actor runnable immediately.
+
+        ``signal`` can only reach actors parked on a wait key; an actor
+        sleeping toward a deadline (a scheduler waiting for its next arrival)
+        is invisible to it.  The control plane uses this to deliver live job
+        submissions and scheduled preemptions: whatever state the target is
+        in, it is rescheduled ready at ``max(actor.now, time_us)``.  Returns
+        ``False`` when the actor is finished (nothing to wake).
+        """
+        if actor.finished:
+            return False
+        keys = self._blocked.pop(actor, None)
+        if keys is not None:
+            for key in keys:
+                group = self._waiters.get(key)
+                if group is not None:
+                    group.discard(actor)
+                    if not group:
+                        self._waiters.pop(key, None)
+        if time_us is not None:
+            actor.clock.advance_to(time_us)
+            self._observe_time(actor.now)
+        self._schedule(actor, actor.now, _KIND_READY)
+        return True
+
     # -- fault injection -----------------------------------------------------
 
     def kill_actor(self, actor, time_us=None):
@@ -430,8 +448,6 @@ class Engine:
                 # deque append per step.
                 ring.append((actor.now, actor.name, result.status.value,
                              result.detail))
-            if self.trace is not None:
-                self.trace.append((actor.now, actor.name, result.status.value, result.detail))
 
             status = result.status
             if status is StepStatus.PROGRESS:

@@ -33,16 +33,7 @@ from repro.multijob.placement import (
     SpreadPolicy,
     make_placement_policy,
 )
-from repro.multijob.runtime import (
-    ClusterJobRunner,
-    DfcclJobRunner,
-    NcclJobRunner,
-    RankMappedPlan,
-    make_job_runner,
-)
-
-#: Deprecated alias kept for source compatibility with pre-``repro.api`` code.
-JobRunner = ClusterJobRunner
+from repro.multijob.runtime import ClusterJobRunner, RankMappedPlan, make_job_runner
 from repro.multijob.scheduler import ClusterScheduler, install_scheduler
 
 __all__ = [
@@ -51,12 +42,9 @@ __all__ = [
     "ClusterJobRunner",
     "ClusterScheduler",
     "DeviceLease",
-    "DfcclJobRunner",
     "JobRecord",
-    "JobRunner",
     "JobSpec",
     "JobState",
-    "NcclJobRunner",
     "NvlinkAffinePolicy",
     "PackedPolicy",
     "PlacementPolicy",

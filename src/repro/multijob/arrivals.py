@@ -66,7 +66,7 @@ def generate_jobs(seed, num_jobs=6, mean_interarrival_us=1_500.0,
                   size_classes=DEFAULT_SIZE_CLASSES, zipf_exponent=1.2,
                   models=("resnet50", "vit", "gpt2-small"),
                   iterations_range=(2, 3), priority_levels=3,
-                  slo_stretch=6.0, name_prefix="job"):
+                  slo_stretch=6.0, name_prefix="job", tenants=None):
     """Draw an open-loop stream of :class:`JobSpec` records.
 
     Interarrival gaps are exponential with the given mean (open loop: the
@@ -74,7 +74,9 @@ def generate_jobs(seed, num_jobs=6, mean_interarrival_us=1_500.0,
     ``size_classes``; models, parallelism splits, iteration counts and
     priorities come from independent child streams.  ``slo_stretch`` sets
     each job's SLO to ``stretch x`` its analytic standalone estimate;
-    ``None`` disables SLOs.
+    ``None`` disables SLOs.  ``tenants`` optionally names billing accounts
+    jobs are drawn over (uniformly, from a dedicated child stream — passing
+    it never perturbs the other draws).
     """
     if num_jobs < 1:
         raise ConfigurationError("need at least one job")
@@ -86,6 +88,7 @@ def generate_jobs(seed, num_jobs=6, mean_interarrival_us=1_500.0,
     gap_stream = rng.child("gaps")
     model_stream = rng.child("models")
     shape_stream = rng.child("shapes")
+    tenant_stream = rng.child("tenants") if tenants else None
     weights = zipf_weights(len(size_classes), zipf_exponent)
 
     specs = []
@@ -103,6 +106,8 @@ def generate_jobs(seed, num_jobs=6, mean_interarrival_us=1_500.0,
             iterations=iterations,
             priority=shape_stream.randint(0, priority_levels - 1),
             arrival_time_us=arrival,
+            tenant=(tenant_stream.choice(list(tenants))
+                    if tenant_stream is not None else None),
         )
         if slo_stretch is not None:
             spec = replace(spec, slo_us=slo_stretch * estimate_standalone_us(spec))

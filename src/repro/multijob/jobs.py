@@ -33,6 +33,7 @@ class JobState(enum.Enum):
     COMPLETED = "completed"    # every rank finished
     DEGRADED = "degraded"      # survivors finished after losing leased ranks
     UNFINISHED = "unfinished"  # still incomplete at collection (deadlock/stuck)
+    REJECTED = "rejected"      # refused at admission (e.g. over tenant quota)
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,9 @@ class JobSpec:
     priority: int = 0
     arrival_time_us: float = 0.0
     slo_us: float = None
+    #: Tenant (billing account) the job belongs to; ``None`` is the default
+    #: tenant.  The control plane's per-tenant quotas key off this.
+    tenant: str = None
 
     @property
     def world_size(self):
@@ -104,6 +108,7 @@ class JobSpec:
             "priority": self.priority,
             "arrival_time_us": self.arrival_time_us,
             "slo_us": self.slo_us,
+            "tenant": self.tenant,
         }
 
 
@@ -114,10 +119,15 @@ class JobRecord:
     spec: JobSpec
     state: JobState = JobState.QUEUED
     lease: object = None                     # DeviceLease once placed
-    start_time_us: float = None              # lease grant time
+    start_time_us: float = None              # first lease grant time
     finish_time_us: float = None
     ranks_done: dict = field(default_factory=dict)   # global rank -> time_us
     result: object = None                    # TrainingResult once collected
+    # -- control-plane state (preemption / checkpoint-restore / migration) -----
+    preemptions: int = 0                     # times evicted mid-run
+    epoch: int = 0                           # placements so far (0 = fresh)
+    completed_iterations: int = 0            # cumulative across epochs
+    checkpoint: object = None                # JobCheckpoint while evicted
 
     # -- metrics ---------------------------------------------------------------
 
@@ -131,7 +141,8 @@ class JobRecord:
 
     @property
     def terminal(self):
-        return self.finished or self.state is JobState.UNFINISHED
+        return self.finished or self.state in (JobState.UNFINISHED,
+                                               JobState.REJECTED)
 
     @property
     def queueing_delay_us(self):
@@ -179,8 +190,12 @@ class JobRecord:
 
     @property
     def slo_attained(self):
-        """Whether the job finished within its SLO (None when no SLO set)."""
-        if self.spec.slo_us is None:
+        """Whether the job finished within its SLO (None when no SLO set).
+
+        Rejected jobs are not evaluated: admission control refused them by
+        policy, so they never had an SLO window to attain.
+        """
+        if self.spec.slo_us is None or self.state is JobState.REJECTED:
             return None
         return self.finished and self.jct_us is not None \
             and self.jct_us <= self.spec.slo_us
@@ -192,6 +207,7 @@ class JobRecord:
             "model": self.spec.model,
             "world_size": self.spec.world_size,
             "priority": self.spec.priority,
+            "tenant": self.spec.tenant,
             "state": self.state.value,
             "arrival_us": self.spec.arrival_time_us,
             "queueing_delay_us": self.queueing_delay_us,
@@ -199,4 +215,6 @@ class JobRecord:
             "goodput_samples_per_s": self.goodput_samples_per_s,
             "slo_attained": self.slo_attained,
             "leased_ranks": tuple(self.lease.ranks) if self.lease else (),
+            "preemptions": self.preemptions,
+            "epoch": self.epoch,
         }

@@ -25,7 +25,6 @@ interleaves co-located jobs' kernel launches differently on different GPUs.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import replace
 
 from repro.api import CollectiveBackend, make_backend
@@ -146,6 +145,7 @@ class ClusterJobRunner:
         self.seed = seed
         self.orchestrator_factory = orchestrator_factory
         self.runs = {}
+        self.hosts = {}
 
     def __getattr__(self, attribute):
         # Legacy accessors (``runner.dfccl`` / ``runner.nccl``) resolve to
@@ -162,18 +162,70 @@ class ClusterJobRunner:
         return GroupTrainingBackend(self.cluster, view, orchestrator=orchestrator)
 
     def launch(self, record, time_us, on_rank_complete):
-        """Install the job's rank processes; returns the TrainingRun."""
+        """Install the job's rank processes; returns the TrainingRun.
+
+        A record resumed after preemption (``record.epoch > 0``) runs only
+        its remaining iterations (checkpointed-complete ones are not re-run)
+        with warmup already spent, under epoch-suffixed host names so the
+        fresh rank processes never collide with the evicted epoch's.
+        """
         spec = record.spec
-        mapped = RankMappedPlan(spec.build_plan(), record.lease.ranks)
+        remaining = spec.iterations - record.completed_iterations
+        if record.epoch > 0 or remaining != spec.iterations:
+            run_spec = replace(spec, iterations=remaining, warmup=0)
+        else:
+            run_spec = spec
+        mapped = RankMappedPlan(run_spec.build_plan(), record.lease.ranks)
         plan = _JitteredPlan(mapped, spec.job_id, self.launch_jitter_us, self.seed)
         run = TrainingRun(
             self.cluster, plan, self._training_backend(record),
-            iterations=spec.iterations, warmup=spec.warmup,
+            iterations=run_spec.iterations, warmup=run_spec.warmup,
             on_rank_complete=on_rank_complete,
         )
-        run.install(name_prefix=spec.job_id, start_time_us=time_us)
+        prefix = (spec.job_id if record.epoch == 0
+                  else f"{spec.job_id}~e{record.epoch}")
+        self.hosts[spec.job_id] = run.install(name_prefix=prefix,
+                                              start_time_us=time_us)
         self.runs[spec.job_id] = run
         return run
+
+    def preempt(self, record, time_us):
+        """Checkpoint and evict a placed job's rank processes mid-run.
+
+        Kills the job's host actors (their in-flight collective parts are
+        aborted through the job view's ``quiesce``, so the shared daemon
+        kernels drop the orphaned task entries), unregisters the epoch's
+        collectives, and reports the checkpoint boundary: how many leading
+        iterations every rank fully completed this epoch.  The job's
+        communicator-pool namespace is deliberately *not* evicted — a resume
+        on the same device set reuses the pooled communicators (visible as
+        ``pool_hits``).  Returns ``(completed_iterations, aborted_parts)``.
+        """
+        run = self.runs.pop(record.job_id, None)
+        if run is None:
+            raise ConfigurationError(
+                f"job {record.job_id} has no installed run to preempt"
+            )
+        completed = run.completed_iterations()
+        for host in self.hosts.pop(record.job_id, []):
+            self.cluster.engine.kill_actor(host, time_us)
+            self.cluster.hosts.pop(host.name, None)
+        view = run.backend.backend
+        quiesce = getattr(view, "quiesce", None)
+        aborted = quiesce(time_us) if quiesce is not None else 0
+        run.backend.unregister_all()
+        return completed, aborted
+
+    @property
+    def supports_preemption(self):
+        """Whether this runner's backend can quiesce an evicted job.
+
+        The dedicated-kernel baseline cannot: its in-flight kernels hold
+        their SM blocks until completion and have no abort path — exactly
+        the property the paper's comparison turns on — so the control plane
+        degrades to non-preemptive scheduling over it.
+        """
+        return hasattr(self.backend, "quiesce")
 
     def release(self, record):
         """Tear down the finished job's backend state.
@@ -197,31 +249,6 @@ class ClusterJobRunner:
             return None
         record.result = run.collect(total_time_us, partial=True)
         return record.result
-
-
-class DfcclJobRunner(ClusterJobRunner):
-    """Deprecated: use ``ClusterJobRunner(cluster, "dfccl", ...)``."""
-
-    def __init__(self, cluster, config=None, launch_jitter_us=25.0, seed=0):
-        warnings.warn(
-            "DfcclJobRunner is deprecated; use ClusterJobRunner(cluster, 'dfccl')",
-            DeprecationWarning, stacklevel=2,
-        )
-        super().__init__(cluster, "dfccl", launch_jitter_us, seed, config=config)
-
-
-class NcclJobRunner(ClusterJobRunner):
-    """Deprecated: use ``ClusterJobRunner(cluster, "nccl", ...)``."""
-
-    def __init__(self, cluster, chunk_bytes=None, launch_jitter_us=25.0, seed=0,
-                 orchestrator_factory=None):
-        warnings.warn(
-            "NcclJobRunner is deprecated; use ClusterJobRunner(cluster, 'nccl')",
-            DeprecationWarning, stacklevel=2,
-        )
-        super().__init__(cluster, "nccl", launch_jitter_us, seed,
-                         orchestrator_factory=orchestrator_factory,
-                         chunk_bytes=chunk_bytes)
 
 
 def make_job_runner(flavor, cluster, **kwargs):

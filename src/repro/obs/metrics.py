@@ -80,6 +80,12 @@ declare_metric("pool_misses", "gauge", "CommunicatorPool misses (fresh build)")
 declare_metric("pool_created", "gauge", "Communicators ever created by the pool")
 declare_metric("pool_reused", "gauge", "Communicators recycled by the pool")
 declare_metric("pool_active", "gauge", "Communicators currently checked out")
+declare_metric("pool_discarded", "gauge",
+               "Communicators discarded (failure-invalidated or evicted)")
+declare_metric("pool_free", "gauge",
+               "Communicators currently pooled awaiting reuse")
+declare_metric("pool_double_releases", "gauge",
+               "Rejected re-releases of an already-pooled communicator")
 
 # --- daemon kernels --------------------------------------------------------
 declare_metric("daemon_launches", "gauge", "Daemon kernel launches (all GPUs)")
@@ -99,6 +105,8 @@ declare_metric("recovery_abandoned", "counter",
                "Collectives abandoned as unrecoverable (e.g. dead root)")
 declare_metric("recovery_invocations_rerun", "counter",
                "Invocations replayed by recovery episodes")
+declare_metric("recovery_rejoins", "counter",
+               "Shrunken collectives re-grown onto replacement devices")
 
 # --- time attribution ------------------------------------------------------
 declare_metric("collective_critical_path_us", "histogram",
@@ -112,6 +120,21 @@ declare_metric("jobs_completed", "gauge", "Jobs that reached a terminal state")
 declare_metric("jobs_queueing_delay_us", "histogram",
                "Arrival-to-placement delay per job (the scheduler share of "
                "the queueing attribution bucket)")
+
+# --- control plane ---------------------------------------------------------
+declare_metric("jobs_preempted", "counter",
+               "Jobs checkpointed and evicted by priority preemption")
+declare_metric("jobs_resumed", "counter",
+               "Preempted jobs re-placed and resumed from checkpoint")
+declare_metric("jobs_migrated", "counter",
+               "Jobs checkpointed and moved to a different placement")
+declare_metric("jobs_rejoined", "counter",
+               "Running jobs evicted after losing a leased rank and requeued "
+               "at full size (elastic rejoin)")
+declare_metric("jobs_rejected", "counter",
+               "Jobs refused at admission (tenant quota exceeded)")
+declare_metric("cluster_grow_events", "counter",
+               "Nodes added to the live cluster by elastic growth")
 
 # --- mpi backend -----------------------------------------------------------
 declare_metric("mpi_host_staged_ops", "gauge",

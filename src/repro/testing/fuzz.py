@@ -252,7 +252,24 @@ def main(argv=None):
                         help="do not stop at the first divergent program")
     parser.add_argument("--verbose", action="store_true",
                         help="log every program, not only failures")
+    parser.add_argument("--elastic", type=int, default=0, metavar="N",
+                        help="additionally fuzz N elastic control-plane "
+                             "scenarios (preempt/resume, migrate, grow, "
+                             "rejoin; default 0)")
     args = parser.parse_args(argv)
+
+    if args.elastic:
+        from repro.testing.elastic import fuzz_elastic
+        elastic_summary = fuzz_elastic(
+            seed=args.seed, scenarios=args.elastic,
+            stop_on_failure=not args.keep_going,
+        )
+        if elastic_summary["failures"]:
+            for failure in elastic_summary["failures"]:
+                print("failing scenario:")
+                print(json.dumps(failure["scenario"], indent=2, default=str))
+                print(f"problems: {failure['problems']}")
+            return 1
 
     summary = fuzz(
         seed=args.seed,

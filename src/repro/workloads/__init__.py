@@ -25,22 +25,16 @@ from repro.workloads.parallelism import (
     MoeParallelPlan,
     ParallelPlan,
 )
-from repro.workloads.backends import (
-    DfcclTrainingBackend,
-    GroupTrainingBackend,
-    NcclTrainingBackend,
-)
+from repro.workloads.backends import GroupTrainingBackend
 from repro.workloads.trainer import TrainingResult, TrainingRun
 
 __all__ = [
     "CollectiveItem",
     "ComputeItem",
-    "DfcclTrainingBackend",
     "GroupTrainingBackend",
     "LayerSpec",
     "ModelSpec",
     "MoeParallelPlan",
-    "NcclTrainingBackend",
     "ParallelPlan",
     "TrainingResult",
     "TrainingRun",

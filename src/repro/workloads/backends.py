@@ -14,19 +14,12 @@ baseline) contribute an *orchestrator* via
 :meth:`~repro.api.CollectiveBackend.orchestrator_for`; its negotiated order
 and per-step delays are charged exactly as the paper's baselines do.  DFCCL
 contributes none — deadlock freedom is the backend's job.
-
-The pre-``repro.api`` classes ``DfcclTrainingBackend`` and
-``NcclTrainingBackend`` remain as thin deprecated shims.
 """
 
 from __future__ import annotations
 
-import warnings
-
 from repro.api import make_backend
 from repro.api.backend import resolve_orchestrator
-from repro.api.dfccl_adapter import DfcclCollectiveBackend
-from repro.api.nccl_adapter import NcclCollectiveBackend
 from repro.common.errors import ConfigurationError
 from repro.gpusim.host import CpuCompute
 from repro.workloads.parallelism import CollectiveItem, ComputeItem
@@ -154,61 +147,6 @@ class GroupTrainingBackend:
 
     def stats(self, rank):
         return self.backend.stats(rank)
-
-
-# -- deprecated per-backend shims ---------------------------------------------------
-
-
-class DfcclTrainingBackend(GroupTrainingBackend):
-    """Deprecated: DFCCL-specific trainer (use :class:`GroupTrainingBackend`)."""
-
-    def __init__(self, cluster, config=None, shuffle_submissions=False, rng=None,
-                 dfccl=None, namespace=None):
-        warnings.warn(
-            "DfcclTrainingBackend is deprecated; use GroupTrainingBackend with "
-            "repro.api.make_backend('dfccl', cluster, ...)",
-            DeprecationWarning, stacklevel=2,
-        )
-        adapter = DfcclCollectiveBackend(cluster, config=config, dfccl=dfccl,
-                                         job=namespace)
-        super().__init__(cluster, adapter, orchestrator=None,
-                         shuffle_submissions=shuffle_submissions, rng=rng)
-
-    @property
-    def dfccl(self):
-        return self.backend.dfccl
-
-    @property
-    def namespace(self):
-        return self.backend.job
-
-    @property
-    def owns_backend(self):
-        return self.backend.owns_backend
-
-
-class NcclTrainingBackend(GroupTrainingBackend):
-    """Deprecated: NCCL-specific trainer (use :class:`GroupTrainingBackend`)."""
-
-    def __init__(self, cluster, orchestrator, chunk_bytes=None, nccl=None,
-                 tenant=None):
-        warnings.warn(
-            "NcclTrainingBackend is deprecated; use GroupTrainingBackend with "
-            "repro.api.make_backend('nccl', cluster, orchestrator=...)",
-            DeprecationWarning, stacklevel=2,
-        )
-        adapter = NcclCollectiveBackend(cluster, chunk_bytes=chunk_bytes,
-                                        nccl=nccl, tenant=tenant,
-                                        orchestrator=orchestrator)
-        super().__init__(cluster, adapter, orchestrator=orchestrator)
-
-    @property
-    def nccl(self):
-        return self.backend.nccl
-
-    @property
-    def tenant(self):
-        return self.backend.tenant
 
 
 def _spec_for(item):

@@ -132,6 +132,23 @@ class TrainingRun:
             for rank, program in programs.items()
         ]
 
+    def completed_iterations(self):
+        """Leading iterations every rank fully recorded (checkpoint boundary).
+
+        The multi-tenant control plane checkpoints a preempted job at this
+        boundary: iterations where some rank had not yet recorded its end
+        mark are re-run on resume (their collectives are aborted at
+        eviction), so no partial iteration is ever credited.
+        """
+        ranks = list(self.plan.ranks())
+        completed = 0
+        for iteration in range(self.iterations):
+            if all((rank, iteration) in self._end_times for rank in ranks):
+                completed += 1
+            else:
+                break
+        return completed
+
     def collect(self, total_time_us, partial=False):
         """Assemble the :class:`TrainingResult` from the recorded marks.
 

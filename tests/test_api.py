@@ -294,85 +294,30 @@ class TestSatelliteRegisterForwarding:
         assert coll.job == "jobX"
 
 
-class TestDeprecatedShims:
-    """The paper-era surfaces stay green but warn."""
+class TestRemovedShims:
+    """The paper-era shim surfaces were deleted after their deprecation cycle."""
 
-    def test_dfccl_training_backend_warns_and_trains(self):
-        cluster = build_cluster("single-3090")
-        with pytest.warns(DeprecationWarning, match="DfcclTrainingBackend"):
-            from repro.workloads import DfcclTrainingBackend
+    def test_training_backend_shims_are_gone(self):
+        import repro.workloads as workloads
 
-            backend = DfcclTrainingBackend(cluster, DfcclConfig(chunk_bytes=CHUNK))
-        assert backend.name == "dfccl"
-        result = TrainingRun(cluster, small_plan(), backend, iterations=2).run()
-        assert result.throughput_samples_per_s > 0
+        assert not hasattr(workloads, "DfcclTrainingBackend")
+        assert not hasattr(workloads, "NcclTrainingBackend")
 
-    def test_nccl_training_backend_warns_and_trains(self):
-        from repro.orchestration import make_orchestrator
-        from repro.workloads import NcclTrainingBackend
+    def test_job_runner_shims_are_gone(self):
+        import repro.multijob as multijob
 
-        cluster = build_cluster("single-3090")
-        with pytest.warns(DeprecationWarning, match="NcclTrainingBackend"):
-            backend = NcclTrainingBackend(
-                cluster, make_orchestrator("oneflow", world_size=2),
-                chunk_bytes=CHUNK,
-            )
-        result = TrainingRun(cluster, small_plan(), backend, iterations=2).run()
-        assert result.throughput_samples_per_s > 0
-        assert result.backend == "nccl+oneflow-static"
+        assert not hasattr(multijob, "DfcclJobRunner")
+        assert not hasattr(multijob, "NcclJobRunner")
+        assert not hasattr(multijob, "JobRunner")
 
-    def test_job_runner_shims_warn(self):
-        from repro.multijob import DfcclJobRunner, NcclJobRunner
-
-        cluster = build_cluster("single-3090", deadlock_mode="record")
-        with pytest.warns(DeprecationWarning, match="DfcclJobRunner"):
-            runner = DfcclJobRunner(cluster)
-        assert runner.backend_flavor == "dfccl"
-        with pytest.warns(DeprecationWarning, match="NcclJobRunner"):
-            runner = NcclJobRunner(cluster)
-        assert runner.backend_flavor == "nccl"
-
-    def test_dfccl_listing1_shims_warn_and_work(self):
-        from repro.core.api import (
-            dfccl_destroy,
-            dfccl_init,
-            dfccl_register_all_reduce,
-            dfccl_run,
-        )
-
-        cluster = build_cluster("single-3090")
-        backend = DfcclBackend(cluster, DfcclConfig())
-        ranks = [0, 1]
-        with pytest.warns(DeprecationWarning, match="dfccl_init"):
-            for rank in ranks:
-                dfccl_init(backend, rank)
-        with pytest.warns(DeprecationWarning, match="dfccl_register_all_reduce"):
-            dfccl_register_all_reduce(backend, 0, count=256, ranks=ranks)
-        programs = []
-        for rank in ranks:
-            with pytest.warns(DeprecationWarning, match="dfccl_run"):
-                handle = dfccl_run(backend, rank, 0)
-            with pytest.warns(DeprecationWarning, match="dfccl_destroy"):
-                destroy = dfccl_destroy(backend, rank)
-            programs.append(HostProgram(handle.ops() + [destroy]))
-        cluster.add_hosts(programs)
-        cluster.run()
-        assert backend.collective(0).invocation(0).fully_complete()
-
-    @pytest.mark.parametrize("register", [
-        "dfccl_register_all_gather",
-        "dfccl_register_reduce_scatter",
-        "dfccl_register_broadcast",
-        "dfccl_register_reduce",
-    ])
-    def test_remaining_register_shims_warn(self, register):
+    def test_listing1_aliases_are_gone(self):
         from repro.core import api as core_api
 
-        cluster = build_cluster("single-3090")
-        backend = DfcclBackend(cluster, DfcclConfig())
-        with pytest.warns(DeprecationWarning, match=register):
-            coll = getattr(core_api, register)(backend, 0, count=256, ranks=[0, 1])
-        assert coll.coll_id == 0
+        for name in ("dfccl_init", "dfccl_register_all_reduce",
+                     "dfccl_register_all_gather", "dfccl_register_reduce_scatter",
+                     "dfccl_register_broadcast", "dfccl_register_reduce",
+                     "dfccl_run", "dfccl_destroy"):
+            assert not hasattr(core_api, name), name
 
     def test_make_job_runner_accepts_any_registered_backend(self):
         from repro.multijob import ClusterJobRunner, make_job_runner

@@ -1,14 +1,12 @@
 """Chrome-trace export of engine events (``chrome://tracing`` JSON).
 
 The exporter under test is the observability-based one
-(:mod:`repro.obs.trace`), which reads the always-on flight recorder; the
-legacy list-of-tuples exporter in :mod:`repro.core.profiler` is exercised
-once through its deprecation shim.
+(:mod:`repro.obs.trace`), which reads the always-on flight recorder.  The
+legacy list-of-tuples exporter (``repro.core.profiler``) and the
+``Engine(trace=[...])`` kwarg were removed after their deprecation cycle.
 """
 
 import json
-
-import pytest
 
 from repro.core import DfcclBackend
 from repro.gpusim import HostProgram, build_cluster
@@ -103,22 +101,16 @@ class TestChromeTraceExport:
         assert len(job_processes) >= 2  # one span process per tenant
 
 
-class TestLegacyProfilerShim:
-    def test_legacy_exporter_warns_but_works(self, tmp_path):
+class TestLegacyProfilerRemoved:
+    def test_legacy_exporter_is_gone(self):
         from repro.core import profiler
 
-        trace = [(0.0, "host-0", "progress", "launch"),
-                 (5.0, "host-0", "progress", "wait")]
-        with pytest.warns(DeprecationWarning):
-            events = profiler.chrome_trace_events(trace)
-        assert any(event["ph"] == "X" for event in events)
-        path = tmp_path / "legacy-trace.json"
-        with pytest.warns(DeprecationWarning):
-            count = profiler.write_chrome_trace(trace, path)
-        assert len(json.loads(path.read_text())["traceEvents"]) == count
+        assert not hasattr(profiler, "chrome_trace_events")
+        assert not hasattr(profiler, "write_chrome_trace")
 
-    def test_engine_trace_kwarg_warns(self):
+    def test_engine_trace_kwarg_is_gone(self):
+        import inspect
+
         from repro.gpusim.engine import Engine
 
-        with pytest.warns(DeprecationWarning):
-            Engine(trace=[])
+        assert "trace" not in inspect.signature(Engine.__init__).parameters

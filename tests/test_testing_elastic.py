@@ -1,0 +1,66 @@
+"""Elastic control-plane fuzzer: scenario generation, oracle, CLI wiring."""
+
+import json
+
+import repro.testing.fuzz as fuzz_cli
+from repro.testing.elastic import (
+    EVENT_KINDS,
+    check_elastic_scenario,
+    fuzz_elastic,
+    generate_elastic_scenario,
+    run_elastic_scenario,
+)
+
+
+class TestScenarioGeneration:
+    def test_pure_function_of_seed(self):
+        first = generate_elastic_scenario(1234)
+        second = generate_elastic_scenario(1234)
+        assert first == second
+        assert first != generate_elastic_scenario(1235)
+
+    def test_scenario_is_json_safe_plain_data(self):
+        scenario = generate_elastic_scenario(7)
+        assert json.loads(json.dumps(scenario)) == scenario
+        assert scenario["jobs"]
+        for event in scenario["events"]:
+            assert event["kind"] in EVENT_KINDS
+            assert event["time_us"] > 0
+
+    def test_events_sorted_by_time(self):
+        scenario = generate_elastic_scenario(99, max_events=3)
+        times = [event["time_us"] for event in scenario["events"]]
+        assert times == sorted(times)
+
+
+class TestScenarioOracle:
+    def test_replay_is_deterministic_and_live(self):
+        scenario = generate_elastic_scenario(21)
+        problems, outcome = check_elastic_scenario(scenario)
+        assert problems == []
+        assert outcome["summary"]["unfinished"] == 0
+        assert outcome["summary"]["starved"] == 0
+        assert {row["job"] for row in outcome["jobs"]} >= \
+            {job["job_id"] for job in scenario["jobs"]}
+
+    def test_outcome_shape(self):
+        scenario = generate_elastic_scenario(5)
+        outcome = run_elastic_scenario(scenario)
+        json.dumps(outcome)  # JSON-safe (tuples degrade to lists)
+        for row in outcome["jobs"]:
+            for field in ("job", "state", "preemptions", "epoch",
+                          "completed_iterations", "checkpoint"):
+                assert field in row
+
+
+class TestFuzzLoop:
+    def test_smoke_scenarios_pass(self):
+        summary = fuzz_elastic(seed=0, scenarios=2, log=lambda *args: None)
+        assert summary["failures"] == []
+        assert summary["kinds"]
+
+    def test_cli_elastic_flag(self, capsys):
+        exit_code = fuzz_cli.main(["--elastic", "1", "--programs", "1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "elastic fuzz: 1 scenarios" in out

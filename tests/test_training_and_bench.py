@@ -2,12 +2,10 @@
 
 import pytest
 
-from repro.core import DfcclConfig
 from repro.gpusim import build_cluster
 from repro.orchestration import make_orchestrator
 from repro.workloads import (
-    DfcclTrainingBackend,
-    NcclTrainingBackend,
+    GroupTrainingBackend,
     ParallelPlan,
     TrainingRun,
     resnet50_model,
@@ -15,6 +13,17 @@ from repro.workloads import (
 )
 
 CHUNK = 512 << 10
+
+
+def dfccl_backend(cluster):
+    return GroupTrainingBackend(cluster, "dfccl", chunk_bytes=CHUNK)
+
+
+def nccl_backend(cluster, orchestrator, world_size):
+    return GroupTrainingBackend(
+        cluster, "nccl", chunk_bytes=CHUNK,
+        orchestrator=make_orchestrator(orchestrator, world_size=world_size),
+    )
 
 
 def small_dp_plan(dp=2, batch=32, buckets=4):
@@ -25,7 +34,7 @@ def small_dp_plan(dp=2, batch=32, buckets=4):
 class TestTrainingRun:
     def test_dfccl_dp_training_completes(self):
         cluster = build_cluster("single-3090")
-        backend = DfcclTrainingBackend(cluster, DfcclConfig(chunk_bytes=CHUNK))
+        backend = dfccl_backend(cluster)
         result = TrainingRun(cluster, small_dp_plan(), backend, iterations=3).run()
         assert result.iterations == 2
         assert result.throughput_samples_per_s > 0
@@ -33,8 +42,7 @@ class TestTrainingRun:
 
     def test_nccl_orchestrated_dp_training_completes(self):
         cluster = build_cluster("single-3090")
-        backend = NcclTrainingBackend(cluster, make_orchestrator("oneflow", world_size=2),
-                                      chunk_bytes=CHUNK)
+        backend = nccl_backend(cluster, "oneflow", world_size=2)
         result = TrainingRun(cluster, small_dp_plan(), backend, iterations=3).run()
         assert result.throughput_samples_per_s > 0
 
@@ -42,14 +50,11 @@ class TestTrainingRun:
         """Fig. 10 shape: DFCCL within a few percent of statically sorted NCCL."""
         plan = small_dp_plan(dp=4, batch=48, buckets=6)
         cluster_a = build_cluster("single-3090")
-        dfccl = TrainingRun(cluster_a, plan,
-                            DfcclTrainingBackend(cluster_a, DfcclConfig(chunk_bytes=CHUNK)),
+        dfccl = TrainingRun(cluster_a, plan, dfccl_backend(cluster_a),
                             iterations=3).run()
         cluster_b = build_cluster("single-3090")
         static = TrainingRun(cluster_b, plan,
-                             NcclTrainingBackend(cluster_b,
-                                                 make_orchestrator("oneflow", world_size=4),
-                                                 chunk_bytes=CHUNK),
+                             nccl_backend(cluster_b, "oneflow", world_size=4),
                              iterations=3).run()
         ratio = dfccl.throughput_samples_per_s / static.throughput_samples_per_s
         assert 0.9 < ratio < 1.15
@@ -58,14 +63,11 @@ class TestTrainingRun:
         """Fig. 10 shape: coordination overhead costs Horovod throughput."""
         plan = small_dp_plan(dp=4, batch=48, buckets=12)
         cluster_a = build_cluster("single-3090")
-        dfccl = TrainingRun(cluster_a, plan,
-                            DfcclTrainingBackend(cluster_a, DfcclConfig(chunk_bytes=CHUNK)),
+        dfccl = TrainingRun(cluster_a, plan, dfccl_backend(cluster_a),
                             iterations=3).run()
         cluster_b = build_cluster("single-3090")
         horovod = TrainingRun(cluster_b, plan,
-                              NcclTrainingBackend(cluster_b,
-                                                  make_orchestrator("horovod", world_size=4),
-                                                  chunk_bytes=CHUNK),
+                              nccl_backend(cluster_b, "horovod", world_size=4),
                               iterations=3).run()
         assert dfccl.throughput_samples_per_s > horovod.throughput_samples_per_s
 
@@ -73,13 +75,13 @@ class TestTrainingRun:
         plan = ParallelPlan(vit_model(), tp=2, dp=2, pp=2, microbatch_size=16,
                             num_microbatches=1, grad_buckets=4)
         cluster = build_cluster("single-3090")
-        backend = DfcclTrainingBackend(cluster, DfcclConfig(chunk_bytes=CHUNK))
+        backend = dfccl_backend(cluster)
         result = TrainingRun(cluster, plan, backend, iterations=2, warmup=1).run()
         assert result.throughput_samples_per_s > 0
 
     def test_result_statistics(self):
         cluster = build_cluster("single-3090")
-        backend = DfcclTrainingBackend(cluster, DfcclConfig(chunk_bytes=CHUNK))
+        backend = dfccl_backend(cluster)
         result = TrainingRun(cluster, small_dp_plan(), backend, iterations=4).run()
         assert result.iteration_time_cv() >= 0.0
         curve = result.cumulative_mean_throughput()
